@@ -1,0 +1,124 @@
+// Command barbican regenerates the paper's evaluation: every figure and
+// table from "Barbarians in the Gate" (DSN 2006), reproduced on the
+// simulated testbed.
+//
+// Usage:
+//
+//	barbican [flags] fig2|fig3a|fig3b|table1|ablations|all
+//
+// Flags:
+//
+//	-quick          shrink sweeps to a few representative points
+//	-duration D     per-measurement window (default: tool defaults)
+//	-seed N         simulation seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"barbican/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "barbican:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("barbican", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink sweeps to representative points")
+	duration := fs.Duration("duration", 0, "per-measurement window (0 = tool default)")
+	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|ext1|ext2|ext3|rfc2544|latency|report|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name")
+	}
+	cfg := experiment.Config{Quick: *quick, Duration: *duration, Seed: *seed}
+
+	type runner struct {
+		name string
+		fn   func(experiment.Config) (string, error)
+	}
+	runners := []runner{
+		{name: "fig2", fn: renderFigure(experiment.Fig2)},
+		{name: "fig3a", fn: renderFigure(experiment.Fig3a)},
+		{name: "fig3b", fn: renderFigure(experiment.Fig3b)},
+		{name: "table1", fn: renderTable(experiment.Table1)},
+		{name: "ablations", fn: renderAblations},
+		{name: "ext1", fn: renderTable(experiment.ExtensionNextGen)},
+		{name: "ext2", fn: renderTable(experiment.ExtensionHTTPUnderFlood)},
+		{name: "ext3", fn: renderTable(experiment.ExtensionFragmentEvasion)},
+		{name: "rfc2544", fn: renderTable(experiment.AppendixRFC2544)},
+		{name: "latency", fn: renderTable(experiment.AppendixLatency)},
+		{name: "report", fn: experiment.Report},
+	}
+
+	want := fs.Arg(0)
+	ran := false
+	start := time.Now()
+	for _, r := range runners {
+		if want != r.name && (want != "all" || r.name == "report") {
+			continue
+		}
+		ran = true
+		out, err := r.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", want)
+	}
+	fmt.Printf("(completed in %v wall clock)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func renderFigure(fn func(experiment.Config) (*experiment.Figure, error)) func(experiment.Config) (string, error) {
+	return func(cfg experiment.Config) (string, error) {
+		fig, err := fn(cfg)
+		if err != nil {
+			return "", err
+		}
+		return fig.Render(), nil
+	}
+}
+
+func renderTable(fn func(experiment.Config) (*experiment.Table, error)) func(experiment.Config) (string, error) {
+	return func(cfg experiment.Config) (string, error) {
+		t, err := fn(cfg)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}
+}
+
+func renderAblations(cfg experiment.Config) (string, error) {
+	var out string
+	for _, fn := range []func(experiment.Config) (*experiment.Table, error){
+		experiment.AblationDenyResponses,
+		experiment.AblationVPGLazyDecrypt,
+		experiment.AblationTrailingRules,
+	} {
+		t, err := fn(cfg)
+		if err != nil {
+			return "", err
+		}
+		out += t.Render() + "\n"
+	}
+	return out, nil
+}

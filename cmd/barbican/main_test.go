@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"figure9"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRequiresExactlyOneArgument(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"fig2", "fig3a"}); err == nil {
+		t.Error("two arguments accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus", "fig2"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunQuickAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run([]string{"-quick", "-duration", "500ms", "ablations"}); err != nil {
+		t.Fatalf("run ablations: %v", err)
+	}
+}

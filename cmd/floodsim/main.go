@@ -1,0 +1,136 @@
+// Command floodsim explores flood tolerance interactively: measure
+// available bandwidth for one device/depth/flood-rate configuration, or
+// search for the minimum denial-of-service flood rate.
+//
+// Usage:
+//
+//	floodsim -device efw -depth 64 -rate 8000
+//	floodsim -device adf -depth 64 -deny -search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"barbican/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseDevice(s string) (core.Device, error) {
+	switch strings.ToLower(s) {
+	case "standard", "none":
+		return core.DeviceStandard, nil
+	case "efw":
+		return core.DeviceEFW, nil
+	case "adf":
+		return core.DeviceADF, nil
+	case "vpg", "adf-vpg":
+		return core.DeviceADFVPG, nil
+	case "iptables":
+		return core.DeviceIPTables, nil
+	default:
+		return 0, fmt.Errorf("unknown device %q (standard|efw|adf|vpg|iptables)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("floodsim", flag.ContinueOnError)
+	deviceName := fs.String("device", "efw", "firewall under test: standard|efw|adf|vpg|iptables")
+	depth := fs.Int("depth", 1, "rules (or VPGs) traversed before the action rule")
+	rate := fs.Float64("rate", 0, "flood rate in packets/s (0 = no flood)")
+	deny := fs.Bool("deny", false, "policy denies the flood packets instead of allowing them")
+	fragment := fs.Bool("fragment", false, "split flood packets into IP fragments (evades port-based deny rules)")
+	search := fs.Bool("search", false, "binary-search the minimum DoS flood rate")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window")
+	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	pcapPath := fs.String("pcap", "", "write the target's wire traffic to this pcap file (single runs only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	device, err := parseDevice(*deviceName)
+	if err != nil {
+		return err
+	}
+	s := core.Scenario{
+		Device:          device,
+		Depth:           *depth,
+		FloodRatePPS:    *rate,
+		FloodAllowed:    !*deny,
+		FloodFragmented: *fragment,
+		Duration:        *duration,
+		Seed:            *seed,
+	}
+
+	if *search {
+		r, err := core.MinFloodRate(s)
+		if err != nil {
+			return err
+		}
+		if !r.Found {
+			fmt.Printf("%v depth=%d: no denial of service up to %d pps\n",
+				device, *depth, core.MaxSearchRatePPS)
+			return nil
+		}
+		note := ""
+		if r.LockedUp {
+			note = "  (card LOCKED UP — agent restart required, as the paper observed)"
+		}
+		fmt.Printf("%v depth=%d flood-%s: minimum DoS flood rate ≈ %.0f pps (%d probes)%s\n",
+			device, *depth, mode(!*deny), r.RatePPS, r.Probes, note)
+		return nil
+	}
+
+	var p core.BandwidthPoint
+	if *pcapPath != "" {
+		p, err = runWithCapture(s, *pcapPath)
+	} else {
+		p, err = core.RunBandwidth(s)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v depth=%d flood=%.0f pps (%s): %.1f Mbps available\n",
+		device, *depth, *rate, mode(!*deny), p.Mbps())
+	if p.TargetLocked {
+		fmt.Println("target card LOCKED UP during the flood")
+	}
+	st := p.TargetNIC
+	fmt.Printf("target card: rx %d frames (%d allowed, %d denied, %d overload-dropped), tx %d (%d overload-dropped)\n",
+		st.RxFrames, st.RxAllowed, st.RxDenied, st.RxOverloadDrops, st.TxAllowed, st.TxOverloadDrops)
+	return nil
+}
+
+func mode(allowed bool) string {
+	if allowed {
+		return "allowed"
+	}
+	return "denied"
+}
+
+// runWithCapture mirrors core.RunBandwidth but taps the client's wire
+// and writes a pcap of the run.
+func runWithCapture(s core.Scenario, path string) (core.BandwidthPoint, error) {
+	p, cap, err := core.RunBandwidthCaptured(s)
+	if err != nil {
+		return p, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return p, err
+	}
+	defer f.Close()
+	if err := cap.WritePCAP(f); err != nil {
+		return p, err
+	}
+	fmt.Printf("wrote %d captured frames to %s\n", cap.Len(), path)
+	return p, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckValidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.txt")
+	text := "allow in proto tcp from any to any port 80\ndefault deny\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", path}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckInvalidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("nonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", path}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestCheckMissingArgs(t *testing.T) {
+	if err := run([]string{"check"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestAnalyzeSubcommand(t *testing.T) {
+	clean := filepath.Join(t.TempDir(), "clean.txt")
+	if err := os.WriteFile(clean, []byte("allow in proto tcp from any to any port 80\ndefault deny\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", clean}); err != nil {
+		t.Fatalf("analyze clean: %v", err)
+	}
+	shadowed := filepath.Join(t.TempDir(), "shadowed.txt")
+	text := "deny in from 10.0.0.0/8 to any\n" +
+		"allow in proto tcp from 10.1.0.0/16 to any port 80\n" +
+		"default deny\n"
+	if err := os.WriteFile(shadowed, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", shadowed}); err == nil {
+		t.Error("analyze of shadowed policy reported no findings")
+	}
+}
+
+func TestOracleSubcommand(t *testing.T) {
+	if err := run([]string{"oracle"}); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+}
+
+func TestDemoPushesBuiltinPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"demo", "-"}); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}

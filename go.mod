@@ -1,0 +1,3 @@
+module barbican
+
+go 1.22

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCalibrationProbe prints the raw calibration surface. It is skipped
+// in -short mode and exists to inspect model behaviour when tuning
+// profiles; the binding assertions live in scenario_test.go and the
+// experiment package.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, dev := range []Device{DeviceStandard, DeviceIPTables, DeviceEFW, DeviceADF} {
+		for _, depth := range []int{1, 8, 16, 24, 32, 48, 64} {
+			p, err := RunBandwidth(Scenario{Device: dev, Depth: depth, Duration: 2 * time.Second})
+			if err != nil {
+				t.Fatalf("%v depth %d: %v", dev, depth, err)
+			}
+			t.Logf("fig2 %-12v depth=%-3d %6.1f Mbps", dev, depth, p.Mbps())
+		}
+	}
+	for _, depth := range []int{1, 2, 3, 4} {
+		p, err := RunBandwidth(Scenario{Device: DeviceADFVPG, Depth: depth, Duration: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("vpg depth %d: %v", depth, err)
+		}
+		t.Logf("fig2 %-12v vpgs=%-3d %6.1f Mbps", DeviceADFVPG, depth, p.Mbps())
+	}
+	for _, dev := range []Device{DeviceStandard, DeviceIPTables, DeviceEFW, DeviceADF, DeviceADFVPG} {
+		for _, rate := range []float64{0, 2000, 4000, 6000, 8000, 10000, 12500} {
+			p, err := RunBandwidth(Scenario{
+				Device: dev, Depth: 1, FloodRatePPS: rate, FloodAllowed: true,
+				Duration: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%v flood %v: %v", dev, rate, err)
+			}
+			t.Logf("fig3a %-12v flood=%-6.0f %6.1f Mbps locked=%v", dev, rate, p.Mbps(), p.TargetLocked)
+		}
+	}
+}

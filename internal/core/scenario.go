@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"barbican/internal/fw"
+	"barbican/internal/measure"
+	"barbican/internal/nic"
+	"barbican/internal/packet"
+	"barbican/internal/trace"
+)
+
+// FloodPort is the (closed) UDP port the flood generator targets. Allowed
+// flood packets reaching the target's stack elicit ICMP port-unreachable
+// responses that transit the firewall card outbound.
+const FloodPort = 7
+
+// VPGGroupName is the matching group used in VPG scenarios.
+const VPGGroupName = "psq"
+
+// Scenario describes one measurement configuration of the paper's
+// methodology.
+type Scenario struct {
+	// Device is the target's firewall configuration.
+	Device Device
+	// Depth is the number of rules traversed before the action rule
+	// (the paper's rule-set depth); for DeviceADFVPG it counts VPGs.
+	// Zero means no policy installed at all.
+	Depth int
+	// FloodRatePPS, when positive, runs a flood from the attacker at
+	// this rate during the measurement.
+	FloodRatePPS float64
+	// FloodAllowed selects the paper's two rule-set classes: the action
+	// rule either allows the flood packets (true) or denies them.
+	FloodAllowed bool
+	// FloodKind is the flood traffic type; zero means UDP.
+	FloodKind measure.FloodKind
+	// FloodFragmented splits flood packets into IP fragments (extension
+	// EXT3): later fragments carry no ports, so a port-based deny rule
+	// only ever stops the first fragment of each packet.
+	FloodFragmented bool
+	// UseUDP measures raw UDP delivery instead of TCP goodput. The
+	// paper's iperf runs used the default protocol (TCP), whose collapse
+	// under loss is what turns card saturation into "0 Mbps available".
+	UseUDP bool
+	// Duration is the measurement window; zero uses the tool default.
+	Duration time.Duration
+	// Seed seeds the simulation; zero means 1.
+	Seed int64
+
+	// SuppressFloodResponses disables victim RST/ICMP responses
+	// (ablation ABL1).
+	SuppressFloodResponses bool
+	// EagerVPGDecrypt makes the ADF decrypt before rule matching
+	// (ablation ABL2).
+	EagerVPGDecrypt bool
+	// TrailingRules appends non-matching rules after the action rule
+	// (ablation ABL3; the paper observed they are free).
+	TrailingRules int
+}
+
+// BandwidthPoint is the outcome of a bandwidth scenario.
+type BandwidthPoint struct {
+	Scenario     Scenario
+	Iperf        measure.IperfResult
+	FloodSent    uint64
+	TargetLocked bool
+	TargetNIC    nic.Stats
+}
+
+// Mbps returns the measured available bandwidth.
+func (p BandwidthPoint) Mbps() float64 { return p.Iperf.Mbps }
+
+// HTTPPoint is the outcome of an HTTP load scenario.
+type HTTPPoint struct {
+	Scenario Scenario
+	Load     measure.HTTPLoadResult
+}
+
+// buildTestbed constructs and polices a testbed for the scenario.
+func buildTestbed(s Scenario) (*Testbed, error) {
+	clientDevice := DeviceStandard
+	if s.Device == DeviceADFVPG {
+		clientDevice = DeviceADFVPG
+	}
+	tb, err := NewTestbed(TestbedOptions{
+		ClientDevice:           clientDevice,
+		TargetDevice:           s.Device,
+		Seed:                   s.Seed,
+		SuppressFloodResponses: s.SuppressFloodResponses,
+		EagerVPGDecrypt:        s.EagerVPGDecrypt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.Depth <= 0 {
+		return tb, nil
+	}
+
+	if s.Device == DeviceADFVPG {
+		if _, err := tb.SetupVPG(VPGGroupName, "validation", tb.Client, tb.Target); err != nil {
+			return nil, err
+		}
+		targetRules, err := vpgRuleSet(s.Depth, tb.Target.IP(), s.TrailingRules)
+		if err != nil {
+			return nil, err
+		}
+		clientRules, err := vpgRuleSet(s.Depth, tb.Client.IP(), s.TrailingRules)
+		if err != nil {
+			return nil, err
+		}
+		tb.InstallPolicy(tb.Target, targetRules)
+		tb.InstallPolicy(tb.Client, clientRules)
+		return tb, nil
+	}
+
+	rules, err := standardRuleSet(s.Depth, s.FloodAllowed || s.FloodRatePPS == 0, s.TrailingRules)
+	if err != nil {
+		return nil, err
+	}
+	tb.InstallPolicy(tb.Target, rules)
+	return tb, nil
+}
+
+// standardRuleSet builds the paper's experimental rule-set shape. With
+// floodAllowed, the action rule at position depth allows everything
+// (default deny); otherwise it denies the flood signature and the
+// default allows the measurement traffic.
+func standardRuleSet(depth int, floodAllowed bool, trailing int) (*fw.RuleSet, error) {
+	rules := make([]fw.Rule, 0, depth+trailing)
+	for i := 1; i < depth; i++ {
+		rules = append(rules, fw.NonMatchingRule(i))
+	}
+	def := fw.Deny
+	if floodAllowed {
+		rules = append(rules, fw.AllowAllRule())
+	} else {
+		rules = append(rules, fw.Rule{
+			Name:      "deny-flood",
+			Action:    fw.Deny,
+			Direction: fw.In,
+			Proto:     packet.ProtoUDP,
+			DstPorts:  fw.Port(FloodPort),
+		})
+		def = fw.Allow
+	}
+	for i := 0; i < trailing; i++ {
+		rules = append(rules, fw.NonMatchingRule(100+i))
+	}
+	return fw.NewRuleSet(def, rules...)
+}
+
+// vpgRuleSet builds a rule set with depth-1 non-matching VPG pairs above
+// the matching VPG pair for the host at local, as the paper constructed
+// its VPG depth sweeps.
+func vpgRuleSet(depth int, local packet.IP, trailing int) (*fw.RuleSet, error) {
+	var rules []fw.Rule
+	for i := 1; i < depth; i++ {
+		pad := packet.Prefix{Addr: packet.IP{203, 0, 113, byte(i)}, Bits: 32}
+		rules = append(rules, fw.VPGRulePair(fmt.Sprintf("pad-%d", i), packet.IP{203, 0, 113, 200}, pad)...)
+	}
+	rules = append(rules, fw.VPGRulePair(VPGGroupName, local, packet.MustPrefix("10.0.0.0/24"))...)
+	for i := 0; i < trailing; i++ {
+		rules = append(rules, fw.NonMatchingRule(100+i))
+	}
+	return fw.NewRuleSet(fw.Deny, rules...)
+}
+
+// startFlood arms the scenario's flood (if any) and lets it reach steady
+// state before measurement.
+func startFlood(tb *Testbed, s Scenario) (*measure.Flooder, error) {
+	if s.FloodRatePPS <= 0 {
+		return nil, nil
+	}
+	cfg := measure.FloodConfig{
+		Kind:    s.FloodKind,
+		RatePPS: s.FloodRatePPS,
+		DstPort: FloodPort,
+	}
+	if s.FloodFragmented {
+		cfg.Fragment = true
+		cfg.PayloadBytes = 24 // splits into two fragments at a 16-byte MTU chunk
+	}
+	f := measure.NewFlooder(tb.Attacker, tb.Target.IP(), cfg)
+	f.Start()
+	if err := tb.Kernel.RunFor(200 * time.Millisecond); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RunBandwidth executes a bandwidth scenario: build the testbed, start
+// the flood (if any), and measure available bandwidth between client and
+// target with the iperf tool.
+func RunBandwidth(s Scenario) (BandwidthPoint, error) {
+	return runBandwidth(s, nil)
+}
+
+// RunBandwidthCaptured is RunBandwidth with a passive trace capture
+// tapped on the client's wire for the whole run.
+func RunBandwidthCaptured(s Scenario) (BandwidthPoint, *trace.Capture, error) {
+	var cap *trace.Capture
+	p, err := runBandwidth(s, func(tb *Testbed) {
+		cap = trace.NewCapture(tb.Kernel, 0)
+		cap.Tap(tb.Client.NIC().Endpoint())
+	})
+	return p, cap, err
+}
+
+func runBandwidth(s Scenario, tap func(*Testbed)) (BandwidthPoint, error) {
+	tb, err := buildTestbed(s)
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	if tap != nil {
+		tap(tb)
+	}
+	flood, err := startFlood(tb, s)
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+
+	cfg := measure.IperfConfig{Duration: s.Duration}
+	var res measure.IperfResult
+	if s.UseUDP {
+		res, err = measure.RunUDPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	} else {
+		res, err = measure.RunTCPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	}
+	if err != nil {
+		return BandwidthPoint{}, err
+	}
+	p := BandwidthPoint{
+		Scenario:     s,
+		Iperf:        res,
+		TargetLocked: tb.Target.NIC().Locked(),
+		TargetNIC:    tb.Target.NIC().Stats(),
+	}
+	if flood != nil {
+		flood.Stop()
+		p.FloodSent = flood.Sent()
+	}
+	return p, nil
+}
+
+// RunHTTP executes an HTTP load scenario against a web server on the
+// target.
+func RunHTTP(s Scenario) (HTTPPoint, error) {
+	tb, err := buildTestbed(s)
+	if err != nil {
+		return HTTPPoint{}, err
+	}
+	if err := setupHTTPServer(tb); err != nil {
+		return HTTPPoint{}, err
+	}
+	flood, err := startFlood(tb, s)
+	if err != nil {
+		return HTTPPoint{}, err
+	}
+	res, err := measure.RunHTTPLoad(tb.Kernel, tb.Client, tb.Target, measure.HTTPLoadConfig{
+		Duration: s.Duration,
+	})
+	if err != nil {
+		return HTTPPoint{}, err
+	}
+	if flood != nil {
+		flood.Stop()
+	}
+	return HTTPPoint{Scenario: s, Load: res}, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"time"
+
+	"barbican/internal/apps"
+)
+
+// DoSThresholdMbps is the paper's denial-of-service criterion: the
+// bandwidth measurement "fell to approximately 0 Mbps" — here read as
+// under 2.5% of the network's nominal 100 Mbps.
+const DoSThresholdMbps = 2.5
+
+// Search bounds for the minimum flood rate, in packets per second.
+const (
+	MinSearchRatePPS = 250
+	MaxSearchRatePPS = 40_000
+	// SearchResolutionPPS is the binary search's terminal interval.
+	SearchResolutionPPS = 125
+)
+
+// MinFloodResult reports the minimum-flood-rate search for one scenario.
+type MinFloodResult struct {
+	Scenario Scenario
+	// Found reports whether any rate within the search bounds caused
+	// denial of service.
+	Found bool
+	// RatePPS is the minimum flood rate that drove the measured
+	// bandwidth below DoSThresholdMbps.
+	RatePPS float64
+	// LockedUp reports that the card wedged during the successful flood
+	// (the EFW Deny-All failure); the paper could not record data for
+	// this case because the card required an agent restart.
+	LockedUp bool
+	// Probes counts the measurements the search ran.
+	Probes int
+}
+
+// MinFloodRate finds the minimum flood rate causing denial of service
+// for the scenario by binary search over the flood rate. The scenario's
+// FloodRatePPS field is ignored; each probe builds a fresh testbed so
+// probes are independent and deterministic.
+func MinFloodRate(s Scenario) (MinFloodResult, error) {
+	if s.Duration == 0 {
+		s.Duration = 2 * time.Second // probes trade window length for search depth
+	}
+	res := MinFloodResult{Scenario: s}
+
+	probe := func(rate float64) (bool, bool, error) {
+		sc := s
+		sc.FloodRatePPS = rate
+		p, err := RunBandwidth(sc)
+		if err != nil {
+			return false, false, err
+		}
+		res.Probes++
+		// A wedged card is a successful denial of service even if some
+		// bytes moved before it locked up.
+		return p.Mbps() < DoSThresholdMbps || p.TargetLocked, p.TargetLocked, nil
+	}
+
+	lo, hi := float64(MinSearchRatePPS), float64(MaxSearchRatePPS)
+	ok, locked, err := probe(hi)
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		return res, nil // not even the maximum rate causes DoS
+	}
+	res.Found = true
+	res.LockedUp = locked
+	// Invariant: hi causes DoS, lo does not (or lo is the lower bound).
+	if ok2, locked2, err := probe(lo); err != nil {
+		return res, err
+	} else if ok2 {
+		res.RatePPS = lo
+		res.LockedUp = locked2
+		return res, nil
+	}
+	for hi-lo > SearchResolutionPPS {
+		mid := (lo + hi) / 2
+		ok, locked, err := probe(mid)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			hi = mid
+			res.LockedUp = locked
+		} else {
+			lo = mid
+		}
+	}
+	res.RatePPS = hi
+	return res, nil
+}
+
+// setupHTTPServer starts the Table 1 web server on the testbed target.
+func setupHTTPServer(tb *Testbed) error {
+	_, err := apps.NewHTTPServer(tb.Target, apps.HTTPServerConfig{})
+	return err
+}

@@ -1,0 +1,154 @@
+// Package experiment regenerates every table and figure in the paper's
+// evaluation: Figure 2 (available bandwidth vs. rule-set depth), Figure
+// 3(a) (bandwidth under flood), Figure 3(b) (minimum denial-of-service
+// flood rate), Table 1 (HTTP performance), plus the ablations called out
+// in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one (x, y) measurement of a series.
+type Point struct {
+	X float64
+	Y float64
+	// Note carries per-point annotations (e.g. "LOCKUP").
+	Note string
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a collection of series with shared axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats the figure as an aligned text table, series as columns.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%s vs %s\n\n", f.YLabel, f.XLabel)
+
+	// Collect the union of x values across series, in ascending order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	fmt.Fprintf(&b, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %16s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.0f", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.1f", p.Y)
+					if p.Note != "" {
+						cell += " " + p.Note
+					}
+					break
+				}
+			}
+			fmt.Fprintf(&b, "  %16s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Config tunes experiment runtime vs. fidelity.
+type Config struct {
+	// Duration is the per-measurement window; zero uses each tool's
+	// default (5 s bandwidth, 30 s HTTP).
+	Duration time.Duration
+	// Quick shrinks sweeps to a few representative points; used by unit
+	// tests and smoke runs.
+	Quick bool
+	// Seed seeds every simulation; zero means 1.
+	Seed int64
+}
+
+func (c Config) bandwidthDuration() time.Duration {
+	if c.Duration != 0 {
+		return c.Duration
+	}
+	if c.Quick {
+		return 1 * time.Second
+	}
+	return 5 * time.Second
+}
+
+func (c Config) httpDuration() time.Duration {
+	if c.Duration != 0 {
+		return c.Duration
+	}
+	if c.Quick {
+		return 2 * time.Second
+	}
+	return 30 * time.Second
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barbican/internal/core"
+)
+
+// ExtensionHTTPUnderFlood (EXT2) combines Table 1 and Figure 3(a): what
+// happens to an interactive service behind the card while an attack is
+// in progress? The paper measures raw bandwidth under flood and web
+// performance separately; a deployer wants the cross product.
+func ExtensionHTTPUnderFlood(cfg Config) (*Table, error) {
+	rates := []float64{0, 2000, 4000, 6000}
+	if cfg.Quick {
+		rates = []float64{0, 4000}
+	}
+	devices := []core.Device{core.DeviceStandard, core.DeviceEFW}
+
+	t := &Table{
+		Title:   "Extension EXT2: web-server performance during a flood (64-rule policy, flood allowed)",
+		Columns: []string{"Flood (pps)"},
+	}
+	for _, d := range devices {
+		t.Columns = append(t.Columns, d.String()+" fetches/s", d.String()+" ms/connect")
+	}
+
+	for _, rate := range rates {
+		row := []string{fmt.Sprintf("%.0f", rate)}
+		for _, dev := range devices {
+			depth := 64
+			if dev == core.DeviceStandard {
+				depth = 0
+			}
+			p, err := core.RunHTTP(core.Scenario{
+				Device: dev, Depth: depth,
+				FloodRatePPS: rate, FloodAllowed: true,
+				Duration: cfg.httpDuration(), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", p.Load.FetchesPerSec),
+				fmt.Sprintf("%.2f", p.Load.ConnectMs.Mean()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"barbican/internal/core"
+)
+
+// Fig2Depths are the rule-set depths of Figure 2's x axis.
+var Fig2Depths = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
+
+// Fig2VPGDepths are the VPG counts of Figure 2's VPG series.
+var Fig2VPGDepths = []int{1, 2, 3, 4}
+
+// Fig2 reproduces Figure 2: available bandwidth as rules are added to
+// the rule-set, for the EFW, ADF, ADF with VPGs, and iptables.
+func Fig2(cfg Config) (*Figure, error) {
+	depths := Fig2Depths
+	vpgDepths := Fig2VPGDepths
+	if cfg.Quick {
+		depths = []int{1, 16, 64}
+		vpgDepths = []int{1, 4}
+	}
+
+	fig := &Figure{
+		Title:  "Figure 2: Available Bandwidth as Rules Are Added to the Rule-Set",
+		XLabel: "rules traversed",
+		YLabel: "available bandwidth (Mbps)",
+	}
+	for _, dev := range []core.Device{core.DeviceEFW, core.DeviceADF, core.DeviceIPTables} {
+		s := Series{Label: dev.String()}
+		for _, d := range depths {
+			p, err := core.RunBandwidth(core.Scenario{
+				Device: dev, Depth: d,
+				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(d), Y: p.Mbps()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+
+	vs := Series{Label: core.DeviceADFVPG.String()}
+	for _, d := range vpgDepths {
+		p, err := core.RunBandwidth(core.Scenario{
+			Device: core.DeviceADFVPG, Depth: d,
+			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vs.Points = append(vs.Points, Point{X: float64(d), Y: p.Mbps()})
+	}
+	fig.Series = append(fig.Series, vs)
+	return fig, nil
+}

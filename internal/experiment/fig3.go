@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barbican/internal/core"
+)
+
+// Fig3aRates are the flood rates of Figure 3(a)'s x axis.
+var Fig3aRates = []float64{0, 2000, 4000, 6000, 8000, 10000, 12500}
+
+// Fig3a reproduces Figure 3(a): available bandwidth during a packet
+// flood with a single-rule rule-set, for no firewall, iptables, EFW,
+// ADF, and ADF with a VPG.
+func Fig3a(cfg Config) (*Figure, error) {
+	rates := Fig3aRates
+	if cfg.Quick {
+		rates = []float64{0, 8000, 12500}
+	}
+	fig := &Figure{
+		Title:  "Figure 3(a): Available Bandwidth During Packet Flood (single-rule rule-set)",
+		XLabel: "flood rate (packets/s)",
+		YLabel: "available bandwidth (Mbps)",
+	}
+	for _, dev := range []core.Device{
+		core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF, core.DeviceADFVPG,
+	} {
+		depth := 1
+		if dev == core.DeviceStandard {
+			depth = 0 // "No Firewall"
+		}
+		label := dev.String()
+		if dev == core.DeviceStandard {
+			label = "No Firewall"
+		}
+		s := Series{Label: label}
+		for _, rate := range rates {
+			p, err := core.RunBandwidth(core.Scenario{
+				Device: dev, Depth: depth,
+				FloodRatePPS: rate, FloodAllowed: true,
+				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := Point{X: rate, Y: p.Mbps()}
+			if p.TargetLocked {
+				pt.Note = "LOCKUP"
+			}
+			s.Points = append(s.Points, pt)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig3bDepths are the rule depths of Figure 3(b)'s x axis.
+var Fig3bDepths = []int{1, 8, 16, 32, 64}
+
+// Fig3bClass names one series of Figure 3(b).
+type Fig3bClass struct {
+	Device  core.Device
+	Allowed bool
+}
+
+// Label renders the class as the paper labels it.
+func (c Fig3bClass) Label() string {
+	mode := "Deny"
+	if c.Allowed {
+		mode = "Allow"
+	}
+	return fmt.Sprintf("%s (%s)", c.Device, mode)
+}
+
+// Fig3bClasses are the paper's series: the EFW (Deny) series is included
+// so the run documents the lockup that prevented the authors from
+// capturing it.
+var Fig3bClasses = []Fig3bClass{
+	{Device: core.DeviceEFW, Allowed: true},
+	{Device: core.DeviceADF, Allowed: true},
+	{Device: core.DeviceADF, Allowed: false},
+	{Device: core.DeviceEFW, Allowed: false},
+}
+
+// Fig3b reproduces Figure 3(b): the minimum flood rate required to cause
+// denial of service as rule-set depth increases, with the flood packets
+// allowed or denied by the policy.
+func Fig3b(cfg Config) (*Figure, error) {
+	depths := Fig3bDepths
+	classes := Fig3bClasses
+	if cfg.Quick {
+		depths = []int{1, 64}
+		classes = []Fig3bClass{
+			{Device: core.DeviceEFW, Allowed: true},
+			{Device: core.DeviceADF, Allowed: false},
+		}
+	}
+	fig := &Figure{
+		Title:  "Figure 3(b): Minimum Denial-of-Service Flood Rate vs Rule-Set Depth",
+		XLabel: "rules traversed before action",
+		YLabel: "minimum flood rate (packets/s)",
+	}
+	for _, class := range classes {
+		s := Series{Label: class.Label()}
+		for _, d := range depths {
+			r, err := core.MinFloodRate(core.Scenario{
+				Device: class.Device, Depth: d, FloodAllowed: class.Allowed,
+				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := Point{X: float64(d)}
+			switch {
+			case !r.Found:
+				pt.Note = "no DoS found"
+			case r.LockedUp:
+				pt.Y = r.RatePPS
+				pt.Note = "LOCKUP"
+			default:
+				pt.Y = r.RatePPS
+			}
+			s.Points = append(s.Points, pt)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barbican/internal/core"
+	"barbican/internal/fw"
+	"barbican/internal/measure"
+)
+
+// AppendixLatency (APX2) measures per-packet round-trip latency through
+// each device as rule depth grows — the mechanism behind Table 1's
+// ms/connect gradient, isolated from TCP. The paper argues the added
+// latency "would hardly be noticeable for Internet service"; this table
+// quantifies it.
+func AppendixLatency(cfg Config) (*Table, error) {
+	depths := []int{1, 8, 16, 32, 64}
+	if cfg.Quick {
+		depths = []int{1, 64}
+	}
+	devices := []core.Device{core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF}
+
+	t := &Table{
+		Title:   "Appendix APX2: ICMP round-trip time (ms, mean±stddev) vs rule-set depth",
+		Columns: []string{"Rules"},
+	}
+	for _, d := range devices {
+		t.Columns = append(t.Columns, d.String())
+	}
+
+	for _, depth := range depths {
+		row := []string{fmt.Sprint(depth)}
+		for _, dev := range devices {
+			tb, err := core.NewTestbed(core.TestbedOptions{TargetDevice: dev, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			if dev != core.DeviceStandard {
+				rs, err := fw.DepthRuleSet(depth, fw.AllowAllRule(), fw.Deny)
+				if err != nil {
+					return nil, err
+				}
+				tb.InstallPolicy(tb.Target, rs)
+			}
+			res, err := measure.RunPingRTT(tb.Kernel, tb.Client, tb.Target, measure.PingConfig{})
+			if err != nil {
+				return nil, err
+			}
+			if res.Received == 0 {
+				return nil, fmt.Errorf("latency %v depth %d: no echo replies", dev, depth)
+			}
+			row = append(row, fmt.Sprintf("%.3f±%.3f", res.RTTms.Mean(), res.RTTms.Stddev()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barbican/internal/core"
+)
+
+// Table1Depths are the standard-rule depths of Table 1's columns.
+var Table1Depths = []int{1, 8, 16, 32, 64}
+
+// Table1VPGDepths are the VPG counts of Table 1's VPG columns.
+var Table1VPGDepths = []int{1, 2, 3, 4}
+
+// Table1 reproduces Table 1: HTTP performance of an Apache-style
+// webserver protected by an ADF, against a standard NIC baseline, with
+// standard rules at increasing depths and with VPG rules.
+func Table1(cfg Config) (*Table, error) {
+	depths := Table1Depths
+	vpgDepths := Table1VPGDepths
+	if cfg.Quick {
+		depths = []int{1, 64}
+		vpgDepths = []int{1}
+	}
+
+	type column struct {
+		name  string
+		point core.HTTPPoint
+	}
+	var cols []column
+
+	run := func(name string, dev core.Device, depth int) error {
+		p, err := core.RunHTTP(core.Scenario{
+			Device: dev, Depth: depth,
+			Duration: cfg.httpDuration(), Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("table1 %s: %w", name, err)
+		}
+		cols = append(cols, column{name: name, point: p})
+		return nil
+	}
+
+	if err := run("Standard NIC", core.DeviceStandard, 0); err != nil {
+		return nil, err
+	}
+	for _, d := range depths {
+		if err := run(fmt.Sprintf("ADF %d", d), core.DeviceADF, d); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range vpgDepths {
+		if err := run(fmt.Sprintf("VPG %d", v), core.DeviceADFVPG, v); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		Title:   "Table 1: HTTP Performance of Apache Webserver Protected by an ADF",
+		Columns: []string{"Experiment"},
+	}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.name)
+	}
+	fetches := []string{"HTTP Fetches/s"}
+	connect := []string{"ms/connect"}
+	first := []string{"ms/first-response"}
+	for _, c := range cols {
+		fetches = append(fetches, fmt.Sprintf("%.1f", c.point.Load.FetchesPerSec))
+		connect = append(connect, fmt.Sprintf("%.2f", c.point.Load.ConnectMs.Mean()))
+		first = append(first, fmt.Sprintf("%.2f", c.point.Load.FirstResponseMs.Mean()))
+	}
+	t.Rows = [][]string{fetches, connect, first}
+	return t, nil
+}

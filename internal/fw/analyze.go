@@ -1,0 +1,190 @@
+package fw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"barbican/internal/packet"
+)
+
+// The paper's operational recommendations pull in opposite directions:
+// "place bandwidth-sensitive traffic early in the rule-set" but also
+// "deny potential attack sources early". This file provides the static
+// analysis a policy author needs to follow them: shadowing/redundancy
+// detection (rules that can never fire) and a traversal-cost report
+// driven by observed match statistics.
+
+// FindingKind classifies an analysis finding.
+type FindingKind int
+
+// Finding kinds.
+const (
+	// FindingShadowed: an earlier rule with a different action covers
+	// this rule's entire match space; the rule can never take effect and
+	// the policy likely does not do what its author intended.
+	FindingShadowed FindingKind = iota + 1
+	// FindingRedundant: an earlier rule with the same action covers this
+	// rule entirely; removing it shortens every traversal that passes it.
+	FindingRedundant
+)
+
+// String names the finding kind.
+func (k FindingKind) String() string {
+	switch k {
+	case FindingShadowed:
+		return "shadowed"
+	case FindingRedundant:
+		return "redundant"
+	default:
+		return fmt.Sprintf("finding(%d)", int(k))
+	}
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	Kind FindingKind
+	// Rule is the 1-based index of the affected rule.
+	Rule int
+	// By is the 1-based index of the covering rule.
+	By int
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("rule %d is %v (covered by rule %d)", f.Rule, f.Kind, f.By)
+}
+
+// Analyze reports shadowed and redundant rules: any rule whose entire
+// match space is covered by a single earlier rule. (Combinations of
+// earlier rules that jointly cover a later one are not detected; this is
+// the classic pairwise analysis.)
+func (rs *RuleSet) Analyze() []Finding {
+	var findings []Finding
+	for i := 1; i < len(rs.rules); i++ {
+		for j := 0; j < i; j++ {
+			if covers(&rs.rules[j], &rs.rules[i]) {
+				kind := FindingRedundant
+				if rs.rules[j].Action != rs.rules[i].Action {
+					kind = FindingShadowed
+				}
+				findings = append(findings, Finding{Kind: kind, Rule: i + 1, By: j + 1})
+				break // first covering rule is the decisive one
+			}
+		}
+	}
+	return findings
+}
+
+// covers reports whether every packet rule b matches is also matched by
+// rule a (a precedes b, so b can then never fire).
+func covers(a, b *Rule) bool {
+	// Direction: a must apply whenever b does.
+	if a.Direction != Both && a.Direction != b.Direction {
+		return false
+	}
+	// VPG and plain rules match disjoint traffic classes (sealed vs
+	// cleartext inbound); only like covers like. For outbound, a VPG
+	// rule matches cleartext, but conservatively we still require like
+	// kinds.
+	if a.IsVPG() != b.IsVPG() {
+		return false
+	}
+	if !a.IsVPG() {
+		// Protocol: a must be wildcard or equal to b's (b wildcard needs
+		// a wildcard).
+		if a.Proto != 0 && a.Proto != b.Proto {
+			return false
+		}
+		if !portCovers(a.SrcPorts, b.SrcPorts) || !portCovers(a.DstPorts, b.DstPorts) {
+			return false
+		}
+	}
+	return prefixCovers(a.Src, b.Src) && prefixCovers(a.Dst, b.Dst)
+}
+
+// prefixCovers reports whether prefix a contains all of prefix b.
+func prefixCovers(a, b packet.Prefix) bool {
+	if a.Bits > b.Bits {
+		return false
+	}
+	return a.Contains(b.Addr)
+}
+
+// portCovers reports whether range a admits every packet range b admits.
+// A ported rule matches only packets that have ports, so a non-any a
+// cannot cover an any b (which also matches portless packets).
+func portCovers(a, b PortRange) bool {
+	if a.Any() {
+		return true
+	}
+	if b.Any() {
+		return false
+	}
+	return a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// RuleCost is one row of the traversal-cost report.
+type RuleCost struct {
+	// Rule is the 1-based position.
+	Rule int
+	// Matches is the observed match count.
+	Matches uint64
+	// Share is the fraction of all decided packets.
+	Share float64
+	// SavingsIfFirst is the traversal steps saved per second of the
+	// observed workload if the rule moved to position 1 (ignoring
+	// semantic constraints; a hint, not a proof).
+	SavingsIfFirst uint64
+}
+
+// CostReport summarizes where an observed workload spends its rule
+// traversals — the quantity the paper showed maps directly to bandwidth
+// on the embedded cards.
+type CostReport struct {
+	Evaluations      uint64
+	DefaultHits      uint64
+	AverageTraversal float64
+	// HotRules lists rules by potential savings, descending.
+	HotRules []RuleCost
+}
+
+// Cost builds a traversal-cost report from the rule set's observed match
+// statistics.
+func (rs *RuleSet) Cost() CostReport {
+	evals, perRule, defHits := rs.Stats()
+	report := CostReport{Evaluations: evals, DefaultHits: defHits}
+	if evals == 0 {
+		return report
+	}
+	var weighted uint64
+	for i, m := range perRule {
+		weighted += m * uint64(i+1)
+		if m > 0 && i > 0 {
+			report.HotRules = append(report.HotRules, RuleCost{
+				Rule:           i + 1,
+				Matches:        m,
+				Share:          float64(m) / float64(evals),
+				SavingsIfFirst: m * uint64(i),
+			})
+		}
+	}
+	weighted += defHits * uint64(len(perRule))
+	report.AverageTraversal = float64(weighted) / float64(evals)
+	sort.Slice(report.HotRules, func(i, j int) bool {
+		return report.HotRules[i].SavingsIfFirst > report.HotRules[j].SavingsIfFirst
+	})
+	return report
+}
+
+// Render formats the report for operators.
+func (r CostReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evaluations: %d (default action: %d)\n", r.Evaluations, r.DefaultHits)
+	fmt.Fprintf(&b, "average rules traversed per packet: %.2f\n", r.AverageTraversal)
+	for _, h := range r.HotRules {
+		fmt.Fprintf(&b, "rule %3d: %d matches (%.1f%%), moving it first would save %d traversals\n",
+			h.Rule, h.Matches, 100*h.Share, h.SavingsIfFirst)
+	}
+	return b.String()
+}

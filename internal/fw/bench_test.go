@@ -1,0 +1,41 @@
+package fw
+
+import (
+	"fmt"
+	"testing"
+
+	"barbican/internal/packet"
+)
+
+func BenchmarkEvalByDepth(b *testing.B) {
+	s := tcpSummary("10.0.0.1", "10.0.0.2", 4242, 80)
+	for _, depth := range []int{1, 8, 64} {
+		rs, err := DepthRuleSet(depth, AllowAllRule(), Deny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v := rs.Eval(s, In); v.Action != Allow {
+					b.Fatal("unexpected deny")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRuleMatch(b *testing.B) {
+	r := Rule{
+		Action: Allow, Direction: In, Proto: packet.ProtoTCP,
+		Src: packet.MustPrefix("10.0.0.0/8"), Dst: packet.MustPrefix("10.0.0.2/32"),
+		DstPorts: Ports(80, 90),
+	}
+	s := tcpSummary("10.0.0.1", "10.0.0.2", 4242, 85)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Matches(s, In) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package fw
+
+import "barbican/internal/packet"
+
+// AllowAllRule returns the paper's simplest "default allow all" rule.
+func AllowAllRule() Rule {
+	return Rule{Name: "allow-all", Action: Allow, Direction: Both}
+}
+
+// DenyAllRule returns a rule denying all traffic.
+func DenyAllRule() Rule {
+	return Rule{Name: "deny-all", Action: Deny, Direction: Both}
+}
+
+// NonMatchingRule returns a rule that can never match live traffic on the
+// simulated testbed: it is scoped to the TEST-NET-3 documentation prefix.
+// The experiments use stacks of these as the padding above the action
+// rule when sweeping rule-set depth.
+func NonMatchingRule(i int) Rule {
+	return Rule{
+		Name:      "pad",
+		Action:    Deny,
+		Direction: Both,
+		Proto:     packet.ProtoTCP,
+		Src:       packet.Prefix{Addr: packet.IP{203, 0, 113, byte(i)}, Bits: 32},
+		Dst:       packet.Prefix{Addr: packet.IP{203, 0, 113, 254}, Bits: 32},
+		SrcPorts:  Port(1),
+		DstPorts:  Port(1),
+	}
+}
+
+// DepthRuleSet builds the paper's experimental rule-set shape: depth-1
+// non-matching rules followed by the action rule at position depth, with
+// the given default action. depth must be >= 1.
+func DepthRuleSet(depth int, action Rule, def Action) (*RuleSet, error) {
+	rules := make([]Rule, 0, depth)
+	for i := 1; i < depth; i++ {
+		rules = append(rules, NonMatchingRule(i))
+	}
+	rules = append(rules, action)
+	return NewRuleSet(def, rules...)
+}
+
+// AllowBetween returns a bidirectional allow rule for all traffic between
+// two hosts.
+func AllowBetween(a, b packet.IP) []Rule {
+	return []Rule{
+		{
+			Name: "allow-a-to-b", Action: Allow, Direction: Both,
+			Src: packet.Prefix{Addr: a, Bits: 32},
+			Dst: packet.Prefix{Addr: b, Bits: 32},
+		},
+		{
+			Name: "allow-b-to-a", Action: Allow, Direction: Both,
+			Src: packet.Prefix{Addr: b, Bits: 32},
+			Dst: packet.Prefix{Addr: a, Bits: 32},
+		},
+	}
+}
+
+// VPGRulePair returns the paper's "pair of rules that fully define one
+// VPG": an inbound rule accepting sealed traffic from the group's address
+// space and an outbound rule sealing cleartext traffic into the group.
+func VPGRulePair(group string, local packet.IP, remote packet.Prefix) []Rule {
+	return []Rule{
+		{
+			Name: group + "-in", Action: Allow, Direction: In, VPG: group,
+			Src: remote, Dst: packet.Prefix{Addr: local, Bits: 32},
+		},
+		{
+			Name: group + "-out", Action: Allow, Direction: Out, VPG: group,
+			Src: packet.Prefix{Addr: local, Bits: 32}, Dst: remote,
+		},
+	}
+}

@@ -1,0 +1,241 @@
+// Package fw implements the stateless packet filter at the heart of the
+// EFW and ADF: ordered rules with first-match semantics over the IPv4
+// 5-tuple, plus the VPG rule form used by the ADF.
+//
+// The package deliberately models the paper's cost-relevant property: a
+// packet's fate is decided by the first matching rule, so only the rules
+// *up to and including* the "action rule" cost anything — rules after it
+// are never consulted (paper §3).
+package fw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"barbican/internal/packet"
+)
+
+// Action is a rule's disposition.
+type Action int
+
+// Rule actions.
+const (
+	Allow Action = iota + 1
+	Deny
+)
+
+// String returns "allow" or "deny".
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Direction distinguishes packets entering the host from packets leaving it.
+type Direction int
+
+// Traffic directions, from the protected host's point of view.
+const (
+	In Direction = iota + 1
+	Out
+	Both
+)
+
+// String returns "in", "out", or "both".
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case Both:
+		return "both"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// PortRange matches transport ports in [Lo, Hi]. The zero value matches
+// any port.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches all ports.
+var AnyPort = PortRange{}
+
+// Port returns a range matching exactly p.
+func Port(p uint16) PortRange { return PortRange{Lo: p, Hi: p} }
+
+// Ports returns the range [lo, hi].
+func Ports(lo, hi uint16) PortRange { return PortRange{Lo: lo, Hi: hi} }
+
+// Any reports whether the range matches all ports.
+func (r PortRange) Any() bool { return r == PortRange{} }
+
+// Contains reports whether p falls in the range.
+func (r PortRange) Contains(p uint16) bool {
+	if r.Any() {
+		return true
+	}
+	return r.Lo <= p && p <= r.Hi
+}
+
+// String renders the range ("any", "80", or "6000-6063").
+func (r PortRange) String() string {
+	switch {
+	case r.Any():
+		return "any"
+	case r.Lo == r.Hi:
+		return fmt.Sprint(r.Lo)
+	default:
+		return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+	}
+}
+
+// Rule is one entry of a rule-set. Zero-valued fields match anything:
+// the zero Prefix (bits=0) matches all addresses, the zero PortRange all
+// ports, and Proto == 0 all protocols.
+type Rule struct {
+	// Name is an optional label for logs and policy files.
+	Name string
+	// Action is taken when the rule matches.
+	Action Action
+	// Direction limits which traffic directions the rule applies to.
+	Direction Direction
+	// Proto restricts the IP protocol (0 = any).
+	Proto packet.Protocol
+	// Src and Dst restrict the addresses (zero prefix = any).
+	Src, Dst packet.Prefix
+	// SrcPorts and DstPorts restrict transport ports; they are only
+	// meaningful for TCP and UDP and must be empty otherwise.
+	SrcPorts, DstPorts PortRange
+	// VPG names the virtual private group for VPG rules. A VPG rule
+	// matches sealed traffic inbound and seals matching cleartext
+	// traffic outbound; its Action must be Allow.
+	VPG string
+}
+
+// IsVPG reports whether the rule is a VPG rule.
+func (r *Rule) IsVPG() bool { return r.VPG != "" }
+
+// Matches reports whether the rule applies to a packet summary traveling
+// in direction dir.
+func (r *Rule) Matches(s packet.Summary, dir Direction) bool {
+	if r.Direction != Both && r.Direction != dir {
+		return false
+	}
+	if r.IsVPG() {
+		// Inbound VPG traffic arrives sealed; outbound traffic to be
+		// sealed is cleartext. Port information of sealed packets is
+		// encrypted, so VPG rules match on addresses only.
+		if dir == In && !s.Sealed {
+			return false
+		}
+		if dir == Out && s.Sealed {
+			return false
+		}
+	} else if s.Sealed {
+		// Plain rules never match sealed envelopes.
+		return false
+	}
+	if r.Proto != 0 && !r.IsVPG() && s.Proto != r.Proto {
+		return false
+	}
+	if !r.Src.Contains(s.Src) || !r.Dst.Contains(s.Dst) {
+		return false
+	}
+	if r.IsVPG() {
+		return true
+	}
+	if !r.SrcPorts.Any() || !r.DstPorts.Any() {
+		if !s.HasPorts {
+			return false
+		}
+		if !r.SrcPorts.Contains(s.SrcPort) || !r.DstPorts.Contains(s.DstPort) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency.
+func (r *Rule) Validate() error {
+	if r.Action != Allow && r.Action != Deny {
+		return fmt.Errorf("fw: rule %q: invalid action %d", r.Name, r.Action)
+	}
+	if r.Direction != In && r.Direction != Out && r.Direction != Both {
+		return fmt.Errorf("fw: rule %q: invalid direction %d", r.Name, r.Direction)
+	}
+	if !r.SrcPorts.Any() && r.SrcPorts.Lo > r.SrcPorts.Hi {
+		return fmt.Errorf("fw: rule %q: inverted source port range", r.Name)
+	}
+	if !r.DstPorts.Any() && r.DstPorts.Lo > r.DstPorts.Hi {
+		return fmt.Errorf("fw: rule %q: inverted destination port range", r.Name)
+	}
+	if (!r.SrcPorts.Any() || !r.DstPorts.Any()) &&
+		r.Proto != packet.ProtoTCP && r.Proto != packet.ProtoUDP {
+		return fmt.Errorf("fw: rule %q: port match requires tcp or udp", r.Name)
+	}
+	if r.Src.Bits < 0 || r.Src.Bits > 32 || r.Dst.Bits < 0 || r.Dst.Bits > 32 {
+		return fmt.Errorf("fw: rule %q: invalid prefix length", r.Name)
+	}
+	if r.IsVPG() {
+		if r.Action != Allow {
+			return fmt.Errorf("fw: rule %q: VPG rules must allow", r.Name)
+		}
+		if !r.SrcPorts.Any() || !r.DstPorts.Any() {
+			return fmt.Errorf("fw: rule %q: VPG rules cannot match ports", r.Name)
+		}
+	}
+	return nil
+}
+
+// String renders the rule in the policy DSL syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Action.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Direction.String())
+	if r.IsVPG() {
+		fmt.Fprintf(&b, " vpg %s", r.VPG)
+	} else if r.Proto != 0 {
+		fmt.Fprintf(&b, " proto %s", protoToken(r.Proto))
+	}
+	fmt.Fprintf(&b, " from %v", prefixOrAny(r.Src))
+	if !r.SrcPorts.Any() {
+		fmt.Fprintf(&b, " port %v", r.SrcPorts)
+	}
+	fmt.Fprintf(&b, " to %v", prefixOrAny(r.Dst))
+	if !r.DstPorts.Any() {
+		fmt.Fprintf(&b, " port %v", r.DstPorts)
+	}
+	if r.Name != "" {
+		fmt.Fprintf(&b, " # %s", r.Name)
+	}
+	return b.String()
+}
+
+func prefixOrAny(p packet.Prefix) string {
+	if p.Bits == 0 {
+		return "any"
+	}
+	return p.String()
+}
+
+// protoToken renders a protocol the policy language can parse back:
+// well-known names, numbers otherwise.
+func protoToken(p packet.Protocol) string {
+	switch p {
+	case packet.ProtoTCP, packet.ProtoUDP, packet.ProtoICMP:
+		return p.String()
+	default:
+		return strconv.Itoa(int(p))
+	}
+}

@@ -1,0 +1,129 @@
+package fw
+
+import (
+	"fmt"
+	"strings"
+
+	"barbican/internal/packet"
+)
+
+// Verdict is the outcome of evaluating a packet against a rule-set.
+type Verdict struct {
+	// Action is the disposition.
+	Action Action
+	// Rule is the matching rule, or nil when the default action applied.
+	Rule *Rule
+	// Index is the 1-based position of the matching rule, or 0 for the
+	// default action.
+	Index int
+	// Traversed is the number of rules the filter had to examine: the
+	// paper's "rules traversed before action". It equals Index for a rule
+	// match and the full rule count for the default action. This is the
+	// quantity that drives the embedded processor's per-packet cost.
+	Traversed int
+}
+
+// RuleSet is an ordered, first-match packet filter policy.
+type RuleSet struct {
+	rules   []Rule
+	def     Action
+	matches []uint64 // per-rule match counts
+	defHits uint64
+	evals   uint64
+}
+
+// NewRuleSet validates rules and builds a rule-set with the given default
+// action for packets no rule matches.
+func NewRuleSet(def Action, rules ...Rule) (*RuleSet, error) {
+	if def != Allow && def != Deny {
+		return nil, fmt.Errorf("fw: invalid default action %d", def)
+	}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			return nil, fmt.Errorf("fw: rule %d: %w", i+1, err)
+		}
+	}
+	rs := &RuleSet{
+		rules:   append([]Rule(nil), rules...),
+		def:     def,
+		matches: make([]uint64, len(rules)),
+	}
+	return rs, nil
+}
+
+// MustRuleSet is NewRuleSet that panics on error, for tests and static
+// configuration.
+func MustRuleSet(def Action, rules ...Rule) *RuleSet {
+	rs, err := NewRuleSet(def, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Default returns the default action.
+func (rs *RuleSet) Default() Action { return rs.def }
+
+// Rule returns the 1-based i'th rule.
+func (rs *RuleSet) Rule(i int) *Rule { return &rs.rules[i-1] }
+
+// Rules returns a copy of the rules in order.
+func (rs *RuleSet) Rules() []Rule { return append([]Rule(nil), rs.rules...) }
+
+// Eval evaluates a packet summary traveling in direction dir and returns
+// the verdict of the first matching rule (or the default action).
+func (rs *RuleSet) Eval(s packet.Summary, dir Direction) Verdict {
+	rs.evals++
+	for i := range rs.rules {
+		if rs.rules[i].Matches(s, dir) {
+			rs.matches[i]++
+			return Verdict{
+				Action:    rs.rules[i].Action,
+				Rule:      &rs.rules[i],
+				Index:     i + 1,
+				Traversed: i + 1,
+			}
+		}
+	}
+	rs.defHits++
+	return Verdict{Action: rs.def, Traversed: len(rs.rules)}
+}
+
+// CountVPGCandidates returns how many VPG rules applicable to direction
+// dir appear among the first traversed rules. It quantifies the trial
+// decryptions an eager (decrypt-before-match) filter would perform on a
+// sealed packet that traversed that far (ablation ABL2).
+func (rs *RuleSet) CountVPGCandidates(dir Direction, traversed int) int {
+	if traversed > len(rs.rules) {
+		traversed = len(rs.rules)
+	}
+	n := 0
+	for i := 0; i < traversed; i++ {
+		r := &rs.rules[i]
+		if r.IsVPG() && (r.Direction == Both || r.Direction == dir) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports evaluation counters: total evaluations, per-rule match
+// counts (1-based positions in the returned slice's 0-based indexes), and
+// default-action hits.
+func (rs *RuleSet) Stats() (evals uint64, perRule []uint64, defaultHits uint64) {
+	return rs.evals, append([]uint64(nil), rs.matches...), rs.defHits
+}
+
+// String renders the rule-set in the policy DSL syntax.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	for i := range rs.rules {
+		b.WriteString(rs.rules[i].String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "default %v\n", rs.def)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+// Package link models the physical network: full-duplex Ethernet links
+// with finite bit rates and a store-and-forward learning switch, matching
+// the paper's 100 Mbps switched testbed (3Com 3C16734A).
+//
+// Links model serialization delay exactly — a 1518-byte frame plus
+// preamble and inter-frame gap occupies 1538 byte times, which caps
+// 100 Mbps at about 8,127 maximum-size frames/s — so frame-rate limits on
+// the simulated wire match real Fast Ethernet.
+package link
+
+import (
+	"time"
+
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+)
+
+// Rate100Mbps is Fast Ethernet's bit rate, the paper's network speed.
+const Rate100Mbps = 100_000_000
+
+// DefaultQueueFrames is the default per-direction transmit queue bound.
+const DefaultQueueFrames = 128
+
+// Config parameterizes a link.
+type Config struct {
+	// RateBits is the bit rate; zero defaults to 100 Mbps.
+	RateBits int64
+	// Propagation is the one-way propagation delay; zero defaults to
+	// 500 ns (≈100 m of copper).
+	Propagation time.Duration
+	// QueueFrames bounds the per-direction transmit queue; zero defaults
+	// to DefaultQueueFrames.
+	QueueFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RateBits == 0 {
+		c.RateBits = Rate100Mbps
+	}
+	if c.Propagation == 0 {
+		c.Propagation = 500 * time.Nanosecond
+	}
+	if c.QueueFrames == 0 {
+		c.QueueFrames = DefaultQueueFrames
+	}
+	return c
+}
+
+// Stats counts traffic through one direction of a link.
+type Stats struct {
+	SentFrames    uint64
+	SentBytes     uint64 // wire bytes, including preamble/IFG
+	DroppedFrames uint64 // transmit queue overflow
+}
+
+// Endpoint is one end of a full-duplex link. Devices send frames with
+// Send and receive frames via the handler registered with Attach.
+type Endpoint struct {
+	dir  *direction
+	peer *Endpoint
+	recv func(*packet.Frame)
+	tap  func(f *packet.Frame, tx bool)
+}
+
+type direction struct {
+	cfg       Config
+	kernel    *sim.Kernel
+	busyUntil time.Duration
+	queued    int
+	stats     Stats
+	dst       *Endpoint
+}
+
+// New creates a full-duplex link on the kernel's clock and returns its
+// two endpoints.
+func New(k *sim.Kernel, cfg Config) (*Endpoint, *Endpoint) {
+	cfg = cfg.withDefaults()
+	a := &Endpoint{dir: &direction{cfg: cfg, kernel: k}}
+	b := &Endpoint{dir: &direction{cfg: cfg, kernel: k}}
+	a.peer, b.peer = b, a
+	a.dir.dst, b.dir.dst = b, a
+	return a, b
+}
+
+// Attach registers the frame handler invoked when a frame arrives at this
+// endpoint.
+func (e *Endpoint) Attach(recv func(*packet.Frame)) { e.recv = recv }
+
+// SetTap registers a passive observer: it sees every frame this endpoint
+// transmits (tx true, at acceptance) and receives (tx false, at
+// delivery). Passing nil removes the tap. Taps are how internal/trace
+// captures traffic without perturbing it.
+func (e *Endpoint) SetTap(tap func(f *packet.Frame, tx bool)) { e.tap = tap }
+
+// Stats returns transmit-side statistics for this endpoint.
+func (e *Endpoint) Stats() Stats { return e.dir.stats }
+
+// Rate returns the link bit rate.
+func (e *Endpoint) Rate() int64 { return e.dir.cfg.RateBits }
+
+// Send queues a frame for transmission toward the peer endpoint. It
+// reports false when the transmit queue is full and the frame was dropped.
+func (e *Endpoint) Send(f *packet.Frame) bool {
+	d := e.dir
+	if d.queued >= d.cfg.QueueFrames {
+		d.stats.DroppedFrames++
+		return false
+	}
+	now := d.kernel.Now()
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	done := start + TransmitTime(f.WireLen(), d.cfg.RateBits)
+	d.busyUntil = done
+	d.queued++
+	d.stats.SentFrames++
+	d.stats.SentBytes += uint64(f.WireLen())
+	if e.tap != nil {
+		e.tap(f, true)
+	}
+	dst := d.dst
+	d.kernel.After(done+d.cfg.Propagation-now, func() {
+		d.queued--
+		if dst.tap != nil {
+			dst.tap(f, false)
+		}
+		if dst.recv != nil {
+			dst.recv(f)
+		}
+	})
+	return true
+}
+
+// Busy reports how much longer the transmit direction is occupied.
+func (e *Endpoint) Busy() time.Duration {
+	now := e.dir.kernel.Now()
+	if e.dir.busyUntil <= now {
+		return 0
+	}
+	return e.dir.busyUntil - now
+}
+
+// TransmitTime returns the serialization time of wireBytes at rateBits.
+func TransmitTime(wireBytes int, rateBits int64) time.Duration {
+	return time.Duration(int64(wireBytes) * 8 * int64(time.Second) / rateBits)
+}
+
+// MaxFrameRate returns the maximum frames/s a link of rateBits sustains
+// for frames of the given payload length.
+func MaxFrameRate(payloadLen int, rateBits int64) float64 {
+	f := &packet.Frame{Payload: make([]byte, payloadLen)}
+	return float64(rateBits) / float64(f.WireLen()*8)
+}

@@ -1,0 +1,101 @@
+package link
+
+import (
+	"time"
+
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+)
+
+// DefaultSwitchLatency is the store-and-forward processing latency of the
+// modeled switch, on top of full-frame reception (which the ingress link
+// already accounts for).
+const DefaultSwitchLatency = 5 * time.Microsecond
+
+// SwitchConfig parameterizes a Switch.
+type SwitchConfig struct {
+	// Latency is the per-frame forwarding latency; zero defaults to
+	// DefaultSwitchLatency.
+	Latency time.Duration
+	// Link configures the access links created by NewPort.
+	Link Config
+}
+
+// SwitchStats counts switch-level activity.
+type SwitchStats struct {
+	Forwarded uint64 // frames forwarded to a learned port
+	Flooded   uint64 // frames flooded (unknown destination or broadcast)
+	Dropped   uint64 // frames dropped at egress (link queue overflow)
+}
+
+// Switch is a store-and-forward Ethernet learning switch.
+type Switch struct {
+	kernel *sim.Kernel
+	cfg    SwitchConfig
+	ports  []*Endpoint // switch-side endpoints
+	macs   map[packet.MAC]int
+	stats  SwitchStats
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(k *sim.Kernel, cfg SwitchConfig) *Switch {
+	if cfg.Latency == 0 {
+		cfg.Latency = DefaultSwitchLatency
+	}
+	return &Switch{kernel: k, cfg: cfg, macs: make(map[packet.MAC]int)}
+}
+
+// NewPort creates an access link, connects one end to the switch, and
+// returns the station-side endpoint for a host NIC to use.
+func (s *Switch) NewPort() *Endpoint {
+	station, swSide := New(s.kernel, s.cfg.Link)
+	port := len(s.ports)
+	s.ports = append(s.ports, swSide)
+	swSide.Attach(func(f *packet.Frame) { s.ingress(port, f) })
+	return station
+}
+
+// Ports returns the number of attached ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Stats returns switch-level statistics.
+func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// LearnedPort returns the port a MAC was learned on, or -1.
+func (s *Switch) LearnedPort(m packet.MAC) int {
+	if p, ok := s.macs[m]; ok {
+		return p
+	}
+	return -1
+}
+
+func (s *Switch) ingress(port int, f *packet.Frame) {
+	if !f.Src.IsBroadcast() {
+		s.macs[f.Src] = port
+	}
+	s.kernel.After(s.cfg.Latency, func() { s.egress(port, f) })
+}
+
+func (s *Switch) egress(inPort int, f *packet.Frame) {
+	if !f.Dst.IsBroadcast() {
+		if out, ok := s.macs[f.Dst]; ok {
+			if out == inPort {
+				return // destination is behind the ingress port; filter
+			}
+			s.stats.Forwarded++
+			if !s.ports[out].Send(f) {
+				s.stats.Dropped++
+			}
+			return
+		}
+	}
+	s.stats.Flooded++
+	for i, p := range s.ports {
+		if i == inPort {
+			continue
+		}
+		if !p.Send(f.Clone()) {
+			s.stats.Dropped++
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package measure
+
+import (
+	"time"
+
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+	"barbican/internal/stack"
+)
+
+// FloodKind selects the flood traffic type.
+type FloodKind int
+
+// Flood kinds.
+const (
+	// FloodUDP sends UDP datagrams (like hping2 --udp / the thesis'
+	// generator). Allowed UDP floods to a closed port elicit ICMP port
+	// unreachable responses from the victim.
+	FloodUDP FloodKind = iota + 1
+	// FloodTCPSYN sends TCP SYNs. Allowed SYN floods elicit RSTs (closed
+	// port) or SYN-ACKs (open port) from the victim.
+	FloodTCPSYN
+)
+
+// FloodConfig configures a flood.
+type FloodConfig struct {
+	// Kind of flood; defaults to FloodUDP.
+	Kind FloodKind
+	// RatePPS is the packet rate. Required.
+	RatePPS float64
+	// DstPort is the targeted port; zero picks 7 (echo) for UDP and 80
+	// for SYN floods.
+	DstPort uint16
+	// PayloadBytes pads UDP flood packets; zero means minimum-size
+	// frames, maximizing packets per second — the attacker's optimal
+	// choice against a per-packet bottleneck.
+	PayloadBytes int
+	// SpoofSources, when non-empty, cycles the source address through
+	// the given addresses (the paper notes an attacker can spoof
+	// whatever addresses the policy allows deep rule traversal for).
+	SpoofSources []packet.IP
+	// SrcPort is the source port; zero defaults to 4444.
+	SrcPort uint16
+	// Duration bounds the flood; zero floods until Stop.
+	Duration time.Duration
+	// Fragment splits each flood packet into IP fragments (RFC 1858
+	// style evasion): only the first fragment carries ports, so
+	// port-based deny rules never see the rest. Requires FloodUDP with
+	// PayloadBytes large enough to split (>= 16).
+	Fragment bool
+}
+
+// Flooder generates a rate-controlled packet flood from an attacker host.
+type Flooder struct {
+	kernel *sim.Kernel
+	host   *stack.Host
+	target packet.IP
+	cfg    FloodConfig
+
+	running bool
+	stopped bool
+	started time.Duration
+	sent    uint64
+	ipID    uint16
+}
+
+// NewFlooder creates a flood generator on the attacker host aimed at
+// target.
+func NewFlooder(host *stack.Host, target packet.IP, cfg FloodConfig) *Flooder {
+	if cfg.Kind == 0 {
+		cfg.Kind = FloodUDP
+	}
+	if cfg.DstPort == 0 {
+		if cfg.Kind == FloodTCPSYN {
+			cfg.DstPort = 80
+		} else {
+			cfg.DstPort = 7
+		}
+	}
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = 4444
+	}
+	return &Flooder{kernel: host.Kernel(), host: host, target: target, cfg: cfg}
+}
+
+// Start begins flooding. The flood runs in virtual time alongside
+// whatever measurement the caller drives next.
+func (f *Flooder) Start() {
+	if f.running || f.cfg.RatePPS <= 0 {
+		return
+	}
+	f.running = true
+	f.stopped = false
+	f.started = f.kernel.Now()
+	f.tick()
+}
+
+// Stop halts the flood.
+func (f *Flooder) Stop() { f.stopped = true; f.running = false }
+
+// Sent returns the number of flood packets injected.
+func (f *Flooder) Sent() uint64 { return f.sent }
+
+func (f *Flooder) tick() {
+	if f.stopped {
+		return
+	}
+	if f.cfg.Duration > 0 && f.kernel.Now()-f.started >= f.cfg.Duration {
+		f.running = false
+		return
+	}
+	f.inject()
+	// Deterministic ±5% jitter avoids phase-locking artifacts between
+	// the flood, the measurement stream, and the card's service times.
+	interval := time.Duration(float64(time.Second) / f.cfg.RatePPS * (0.95 + 0.1*f.kernel.Rand().Float64()))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	f.kernel.After(interval, f.tick)
+}
+
+func (f *Flooder) inject() {
+	src := f.host.IP()
+	if n := len(f.cfg.SpoofSources); n > 0 {
+		src = f.cfg.SpoofSources[int(f.sent)%n]
+	}
+	f.ipID++
+	var transport []byte
+	var proto packet.Protocol
+	switch f.cfg.Kind {
+	case FloodTCPSYN:
+		seg := &packet.TCPSegment{
+			SrcPort: f.cfg.SrcPort + uint16(f.sent%1024),
+			DstPort: f.cfg.DstPort,
+			Seq:     uint32(f.sent),
+			Flags:   packet.FlagSYN,
+			Window:  65535,
+		}
+		transport = seg.Marshal(src, f.target)
+		proto = packet.ProtoTCP
+	default:
+		u := &packet.UDPDatagram{
+			SrcPort: f.cfg.SrcPort,
+			DstPort: f.cfg.DstPort,
+			Payload: make([]byte, f.cfg.PayloadBytes),
+		}
+		transport = u.Marshal(src, f.target)
+		proto = packet.ProtoUDP
+	}
+	d := packet.NewDatagram(src, f.target, proto, f.ipID, transport)
+	if f.cfg.Fragment {
+		// Split so the first fragment holds just the transport header
+		// (ports) and the rest carries the payload unmatchable by
+		// port rules.
+		d.Header.DontFrag = false
+		frags, err := packet.Fragment(d, packet.IPv4HeaderLen+16)
+		if err == nil {
+			for _, fr := range frags {
+				f.host.InjectDatagram(fr)
+			}
+			f.sent++
+			return
+		}
+		// Fall through to unfragmented on error (payload too small).
+	}
+	f.host.InjectDatagram(d)
+	f.sent++
+}

@@ -1,0 +1,172 @@
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"barbican/internal/apps"
+	"barbican/internal/sim"
+	"barbican/internal/stack"
+)
+
+// DefaultIperfPort is iperf's conventional port.
+const DefaultIperfPort = 5001
+
+// IperfConfig configures a bandwidth measurement.
+type IperfConfig struct {
+	// Duration is the measurement window; zero defaults to 5 s.
+	Duration time.Duration
+	// Port is the server port; zero defaults to DefaultIperfPort.
+	Port uint16
+	// PayloadBytes is the UDP payload per datagram; zero defaults to the
+	// largest payload that fits one frame on the client's path (1,518-byte
+	// frames, the size the paper's bandwidth experiments used).
+	PayloadBytes int
+	// OfferedMbps is the UDP offered load in Mbit/s of payload; zero
+	// defaults to slightly above the theoretical goodput of the wire so
+	// the measurement reports *available* bandwidth.
+	OfferedMbps float64
+	// Drain is extra settle time after the send window before reading
+	// counters; zero defaults to 50 ms.
+	Drain time.Duration
+}
+
+func (c IperfConfig) withDefaults() IperfConfig {
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Port == 0 {
+		c.Port = DefaultIperfPort
+	}
+	if c.Drain == 0 {
+		c.Drain = 50 * time.Millisecond
+	}
+	return c
+}
+
+// IperfResult reports a bandwidth measurement. Mbps counts payload
+// goodput, the quantity iperf prints.
+type IperfResult struct {
+	Protocol          string
+	Duration          time.Duration
+	BytesReceived     uint64
+	Mbps              float64
+	DatagramsSent     uint64
+	DatagramsReceived uint64
+	LossFraction      float64
+}
+
+// String renders the result like iperf's summary line.
+func (r IperfResult) String() string {
+	if r.Protocol == "udp" {
+		return fmt.Sprintf("[%s] %v  %d bytes  %.1f Mbits/sec  %d/%d (%.1f%% loss)",
+			r.Protocol, r.Duration, r.BytesReceived, r.Mbps,
+			r.DatagramsSent-r.DatagramsReceived, r.DatagramsSent, 100*r.LossFraction)
+	}
+	return fmt.Sprintf("[%s] %v  %d bytes  %.1f Mbits/sec", r.Protocol, r.Duration, r.BytesReceived, r.Mbps)
+}
+
+// RunUDPIperf measures available UDP bandwidth from client to server by
+// offering a near-wire-rate datagram stream and counting what survives
+// the path. It drives the simulation kernel for the measurement window.
+func RunUDPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (IperfResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = client.MaxUDPPayload()
+	}
+	if cfg.OfferedMbps == 0 {
+		// Offer a touch above what the wire can carry so the path, not
+		// the sender, is the bottleneck.
+		cfg.OfferedMbps = 99
+	}
+
+	sink, err := apps.NewUDPSink(server, cfg.Port)
+	if err != nil {
+		return IperfResult{}, err
+	}
+	defer sink.Close()
+	sock, err := client.BindUDP(0)
+	if err != nil {
+		return IperfResult{}, err
+	}
+	defer sock.Close()
+
+	interval := time.Duration(float64(cfg.PayloadBytes*8) / (cfg.OfferedMbps * 1e6) * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	payload := make([]byte, cfg.PayloadBytes)
+	start := k.Now()
+	var sent uint64
+	var send func()
+	send = func() {
+		if k.Now()-start >= cfg.Duration {
+			return
+		}
+		sent++
+		sock.SendTo(server.IP(), cfg.Port, payload)
+		// Deterministic ±5% jitter avoids phase-locking with other
+		// periodic senders sharing the path.
+		k.After(time.Duration(float64(interval)*(0.95+0.1*k.Rand().Float64())), send)
+	}
+	send()
+
+	if err := k.RunUntil(start + cfg.Duration + cfg.Drain); err != nil {
+		return IperfResult{}, err
+	}
+	datagrams, bytes := sink.Received()
+	res := IperfResult{
+		Protocol:          "udp",
+		Duration:          cfg.Duration,
+		BytesReceived:     bytes,
+		Mbps:              float64(bytes) * 8 / cfg.Duration.Seconds() / 1e6,
+		DatagramsSent:     sent,
+		DatagramsReceived: datagrams,
+	}
+	if sent > 0 {
+		res.LossFraction = 1 - float64(datagrams)/float64(sent)
+	}
+	return res, nil
+}
+
+// RunTCPIperf measures TCP goodput from client to server. It drives the
+// simulation kernel for the measurement window.
+func RunTCPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (IperfResult, error) {
+	cfg = cfg.withDefaults()
+
+	var received uint64
+	listener, err := server.ListenTCP(cfg.Port, func(c *stack.Conn) {
+		c.OnData = func(p []byte) { received += uint64(len(p)) }
+	})
+	if err != nil {
+		return IperfResult{}, err
+	}
+	defer listener.Close()
+
+	conn, err := client.DialTCP(server.IP(), cfg.Port)
+	if err != nil {
+		return IperfResult{}, err
+	}
+	start := k.Now()
+	const chunk = 64 << 10
+	fill := func() {
+		for conn.Buffered() < 2*chunk && k.Now()-start < cfg.Duration {
+			if err := conn.Write(make([]byte, chunk)); err != nil {
+				return
+			}
+		}
+	}
+	conn.OnConnect = fill
+	conn.OnAcked = func(int) { fill() }
+
+	if err := k.RunUntil(start + cfg.Duration + cfg.Drain); err != nil {
+		return IperfResult{}, err
+	}
+	conn.Abort()
+	return IperfResult{
+		Protocol:      "tcp",
+		Duration:      cfg.Duration,
+		BytesReceived: received,
+		Mbps:          float64(received) * 8 / cfg.Duration.Seconds() / 1e6,
+	}, nil
+}

@@ -1,0 +1,85 @@
+// Package measure implements the paper's measurement toolchain in
+// simulation: an iperf-style bandwidth meter (TCP and UDP), an
+// http_load-style web load driver, and the packet-flood generator used to
+// test denial-of-service tolerance.
+package measure
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates scalar observations.
+type Sample struct {
+	n          int
+	sum, sumsq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumsq += v * v
+}
+
+// Merge folds other into s. Merging is associative and commutative.
+func (s *Sample) Merge(other Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.sumsq += other.sumsq
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Stddev returns the population standard deviation (0 when empty).
+func (s *Sample) Stddev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumsq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// String renders "mean±stddev (n)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f±%.2f (n=%d)", s.Mean(), s.Stddev(), s.n)
+}

@@ -1,0 +1,421 @@
+package nic
+
+import (
+	"fmt"
+	"time"
+
+	"barbican/internal/fw"
+	"barbican/internal/link"
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+	"barbican/internal/vpg"
+)
+
+// Stats counts per-card activity.
+type Stats struct {
+	RxFrames        uint64 // frames addressed to this card
+	RxAllowed       uint64
+	RxDenied        uint64
+	RxOverloadDrops uint64 // saturated processor
+	RxAuthFailures  uint64 // VPG open failures (tamper, non-member, wrong key)
+	RxReplayDrops   uint64
+	RxNoGroup       uint64 // sealed traffic for a group the card lacks
+	RxMalformed     uint64
+	RxLockedDrops   uint64
+
+	TxRequests      uint64
+	TxAllowed       uint64
+	TxDenied        uint64
+	TxOverloadDrops uint64
+	TxOversize      uint64
+	TxNoGroup       uint64
+	TxLockedDrops   uint64
+
+	Sealed  uint64
+	Opened  uint64
+	Lockups uint64
+}
+
+type replayKey struct {
+	group  string
+	sender packet.IP
+}
+
+// NIC is a simulated network interface card, optionally enforcing a
+// firewall policy on its embedded processor.
+type NIC struct {
+	kernel  *sim.Kernel
+	mac     packet.MAC
+	profile Profile
+	proc    *Processor
+	ep      *link.Endpoint
+	deliver func(*packet.Frame)
+
+	rules   *fw.RuleSet
+	groups  map[string]*vpg.Group
+	sealers map[string]*vpg.Sealer
+	replay  map[replayKey]*vpg.ReplayWindow
+
+	locked      bool
+	winStart    time.Duration
+	deniedInWin int
+	ipID        uint16
+
+	mgmtPeer packet.IP
+	mgmtPort uint16
+
+	stats Stats
+}
+
+// New creates a card with the given hardware profile, attached to one end
+// of a link. Frames arriving on the link flow through the card's ingress
+// path; the host receives surviving frames via the handler registered
+// with SetDeliver.
+func New(k *sim.Kernel, mac packet.MAC, profile Profile, ep *link.Endpoint) *NIC {
+	n := &NIC{
+		kernel:  k,
+		mac:     mac,
+		profile: profile,
+		proc:    NewProcessor(k, profile.CapacityUnits, profile.MaxQueue),
+		ep:      ep,
+		groups:  make(map[string]*vpg.Group),
+		sealers: make(map[string]*vpg.Sealer),
+		replay:  make(map[replayKey]*vpg.ReplayWindow),
+	}
+	ep.Attach(n.handleFrame)
+	return n
+}
+
+// MAC returns the card's hardware address.
+func (n *NIC) MAC() packet.MAC { return n.mac }
+
+// Endpoint returns the card's link attachment, e.g. for passive taps
+// (see internal/trace).
+func (n *NIC) Endpoint() *link.Endpoint { return n.ep }
+
+// Profile returns the card's hardware profile.
+func (n *NIC) Profile() Profile { return n.profile }
+
+// Stats returns a snapshot of the card's counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// SetDeliver registers the host-side receive handler.
+func (n *NIC) SetDeliver(fn func(*packet.Frame)) { n.deliver = fn }
+
+// InstallRuleSet installs (or, with nil, removes) the enforced policy.
+// In the real systems this is done by the firewall agent on behalf of the
+// central policy server.
+func (n *NIC) InstallRuleSet(rs *fw.RuleSet) { n.rules = rs }
+
+// RuleSet returns the enforced policy (nil when unfiltered).
+func (n *NIC) RuleSet() *fw.RuleSet { return n.rules }
+
+// InstallGroup provisions a VPG on the card for the given local member
+// address, enabling it to seal outbound and open inbound group traffic.
+func (n *NIC) InstallGroup(g *vpg.Group, local packet.IP) error {
+	s, err := vpg.NewSealer(g, local)
+	if err != nil {
+		return fmt.Errorf("nic: install group %q: %w", g.Name(), err)
+	}
+	n.groups[g.Name()] = g
+	n.sealers[g.Name()] = s
+	return nil
+}
+
+// SealOverhead returns the worst-case bytes sealing adds to a transport
+// segment across the card's installed groups. Host stacks shrink their
+// MSS by this amount so sealed frames still fit the MTU.
+func (n *NIC) SealOverhead() int {
+	max := 0
+	for name := range n.groups {
+		if o := vpg.Overhead(len(name)); o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+// SetManagementBypass exempts the firewall-agent control channel from
+// policy evaluation: TCP traffic exchanged with peer on the given local
+// port bypasses the rule set, mirroring the EFW/ADF's protected policy-
+// server channel (a freshly pushed deny-all must not sever the agent).
+// The bypass does not survive a lockup: a wedged card passes nothing.
+func (n *NIC) SetManagementBypass(peer packet.IP, port uint16) {
+	n.mgmtPeer = peer
+	n.mgmtPort = port
+}
+
+// isManagement reports whether a summary matches the control channel.
+func (n *NIC) isManagement(s packet.Summary) bool {
+	if n.mgmtPort == 0 || s.Proto != packet.ProtoTCP || !s.HasPorts {
+		return false
+	}
+	return (s.Src == n.mgmtPeer && s.DstPort == n.mgmtPort) ||
+		(s.Dst == n.mgmtPeer && s.SrcPort == n.mgmtPort)
+}
+
+// Locked reports whether the card is wedged (the EFW Deny-All failure).
+func (n *NIC) Locked() bool { return n.locked }
+
+// RestartAgent models restarting the firewall agent software, which the
+// paper found was the only way to restore a wedged card. Installed policy
+// and groups survive; queued work is discarded.
+func (n *NIC) RestartAgent() {
+	n.locked = false
+	n.deniedInWin = 0
+	n.winStart = n.kernel.Now()
+	n.proc.Reset()
+}
+
+// Send transmits an IP datagram to the given destination MAC, subject to
+// the card's egress policy. It reports whether the datagram was accepted
+// for transmission.
+func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
+	n.stats.TxRequests++
+	if n.locked {
+		n.stats.TxLockedDrops++
+		return false
+	}
+	frame := &packet.Frame{Dst: dstMAC, Src: n.mac, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
+	s, err := packet.Summarize(frame)
+	if err != nil {
+		n.stats.TxDenied++
+		return false
+	}
+
+	verdict := fw.Verdict{Action: fw.Allow}
+	if n.rules != nil && !n.isManagement(s) {
+		verdict = n.rules.Eval(s, fw.Out)
+	}
+
+	cryptoBytes := 0
+	sealGroup := ""
+	if verdict.Action == fw.Allow && verdict.Rule != nil && verdict.Rule.IsVPG() {
+		sealGroup = verdict.Rule.VPG
+		cryptoBytes = len(d.Payload) + vpg.Overhead(len(sealGroup))
+	}
+
+	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
+	if !ok {
+		n.stats.TxOverloadDrops++
+		return false
+	}
+	if verdict.Action == fw.Deny {
+		n.stats.TxDenied++
+		return false
+	}
+
+	if sealGroup != "" {
+		sealed, ok := n.seal(sealGroup, d, dstMAC)
+		if !ok {
+			return false
+		}
+		frame = sealed
+	}
+	if len(frame.Payload) > packet.MaxPayload {
+		n.stats.TxOversize++
+		return false
+	}
+	n.stats.TxAllowed++
+	// The frame leaves the card once the embedded processor finishes it.
+	n.kernel.At(completeAt, func() {
+		if !n.locked {
+			n.ep.Send(frame)
+		}
+	})
+	return true
+}
+
+// SendRawFrame transmits a pre-built frame without policy evaluation or
+// sealing — attacker tooling (raw sockets on a non-filtering card). A
+// filtering card still charges its base processing cost and honors
+// lockup; a standard card passes it straight through.
+func (n *NIC) SendRawFrame(f *packet.Frame) bool {
+	n.stats.TxRequests++
+	if n.locked {
+		n.stats.TxLockedDrops++
+		return false
+	}
+	completeAt, ok := n.proc.Admit(n.profile.cost(0, 0))
+	if !ok {
+		n.stats.TxOverloadDrops++
+		return false
+	}
+	n.stats.TxAllowed++
+	n.kernel.At(completeAt, func() {
+		if !n.locked {
+			n.ep.Send(f)
+		}
+	})
+	return true
+}
+
+// seal wraps the datagram's transport segment in a VPG envelope and
+// returns the sealed frame.
+func (n *NIC) seal(group string, d *packet.Datagram, dstMAC packet.MAC) (*packet.Frame, bool) {
+	sealer, ok := n.sealers[group]
+	if !ok {
+		n.stats.TxNoGroup++
+		return nil, false
+	}
+	env, err := sealer.Seal(d.Header.Dst, d.Header.Protocol, d.Payload)
+	if err != nil {
+		n.stats.TxNoGroup++
+		return nil, false
+	}
+	n.ipID++
+	outer := packet.NewDatagram(d.Header.Src, d.Header.Dst, packet.ProtoVPGEncap, n.ipID, env)
+	n.stats.Sealed++
+	return &packet.Frame{Dst: dstMAC, Src: n.mac, Type: packet.EtherTypeVPG, Payload: outer.Marshal()}, true
+}
+
+// handleFrame is the ingress path: MAC filtering (free, in hardware),
+// policy evaluation and optional VPG opening on the embedded processor,
+// then delivery to the host.
+func (n *NIC) handleFrame(f *packet.Frame) {
+	if f.Dst != n.mac && !f.Dst.IsBroadcast() {
+		return
+	}
+	n.stats.RxFrames++
+	if n.locked {
+		n.stats.RxLockedDrops++
+		return
+	}
+	if f.Type == packet.EtherTypeARP {
+		// The cards filter IP; address resolution passes untouched (and
+		// unmetered — ARP is handled below the filtering processor).
+		if n.deliver != nil {
+			n.deliver(f)
+		}
+		return
+	}
+	s, err := packet.Summarize(f)
+	if err != nil {
+		n.stats.RxMalformed++
+		return
+	}
+
+	verdict := fw.Verdict{Action: fw.Allow}
+	if n.rules != nil && !n.isManagement(s) {
+		verdict = n.rules.Eval(s, fw.In)
+	}
+
+	cryptoBytes := 0
+	if s.Sealed {
+		matchedVPG := verdict.Action == fw.Allow && verdict.Rule != nil && verdict.Rule.IsVPG()
+		switch {
+		case n.profile.EagerVPGDecrypt:
+			// Ablation ABL2: an eager filter trial-decrypts the envelope
+			// at every candidate VPG rule it traverses, so non-matching
+			// VPGs above the action pair multiply the crypto cost. The
+			// real ADF is lazy — it decrypts once, at the matching rule.
+			trials := 1
+			if n.rules != nil {
+				if c := n.rules.CountVPGCandidates(fw.In, verdict.Traversed); c > trials {
+					trials = c
+				}
+			}
+			cryptoBytes = trials * s.IPLen
+		case matchedVPG:
+			cryptoBytes = s.IPLen
+		}
+	}
+
+	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
+	if !ok {
+		n.stats.RxOverloadDrops++
+		return
+	}
+	if verdict.Action == fw.Deny {
+		n.stats.RxDenied++
+		n.noteDenied()
+		return
+	}
+	n.kernel.At(completeAt, func() { n.finishIngress(f, s, verdict) })
+}
+
+func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdict) {
+	if n.locked {
+		n.stats.RxLockedDrops++
+		return
+	}
+	if !s.Sealed {
+		n.stats.RxAllowed++
+		if n.deliver != nil {
+			n.deliver(f)
+		}
+		return
+	}
+	inner, ok := n.open(f, s, verdict)
+	if !ok {
+		return
+	}
+	n.stats.RxAllowed++
+	if n.deliver != nil {
+		n.deliver(inner)
+	}
+}
+
+// open verifies and decrypts a sealed frame, returning the reconstructed
+// cleartext frame.
+func (n *NIC) open(f *packet.Frame, s packet.Summary, verdict fw.Verdict) (*packet.Frame, bool) {
+	outer, err := packet.UnmarshalDatagram(f.Payload)
+	if err != nil {
+		n.stats.RxMalformed++
+		return nil, false
+	}
+	name, err := vpg.PeekGroupName(outer.Payload)
+	if err != nil {
+		n.stats.RxMalformed++
+		return nil, false
+	}
+	// Policy must have admitted the packet via the VPG rule for this
+	// group; sealed traffic admitted any other way is a configuration
+	// error and is dropped.
+	if verdict.Rule == nil || verdict.Rule.VPG != name {
+		if n.rules != nil {
+			n.stats.RxNoGroup++
+			return nil, false
+		}
+	}
+	g, ok := n.groups[name]
+	if !ok {
+		n.stats.RxNoGroup++
+		return nil, false
+	}
+	proto, transport, seq, err := g.Open(outer.Header.Src, outer.Header.Dst, outer.Payload)
+	if err != nil {
+		n.stats.RxAuthFailures++
+		return nil, false
+	}
+	key := replayKey{group: name, sender: outer.Header.Src}
+	w := n.replay[key]
+	if w == nil {
+		w = &vpg.ReplayWindow{}
+		n.replay[key] = w
+	}
+	if !w.Check(seq) {
+		n.stats.RxReplayDrops++
+		return nil, false
+	}
+	n.stats.Opened++
+	inner := packet.NewDatagram(outer.Header.Src, outer.Header.Dst, proto, outer.Header.ID, transport)
+	return &packet.Frame{Dst: f.Dst, Src: f.Src, Type: packet.EtherTypeIPv4, Payload: inner.Marshal()}, true
+}
+
+// noteDenied tracks the denied-packet rate for the EFW lockup failure.
+func (n *NIC) noteDenied() {
+	if n.profile.LockupDeniedPPS <= 0 {
+		return
+	}
+	now := n.kernel.Now()
+	if now-n.winStart >= time.Second {
+		n.winStart = now
+		n.deniedInWin = 0
+	}
+	n.deniedInWin++
+	if n.deniedInWin > n.profile.LockupDeniedPPS {
+		n.locked = true
+		n.stats.Lockups++
+	}
+}

@@ -1,0 +1,112 @@
+package nic
+
+// Profile parameterizes a card's embedded processing model. Cost units
+// are abstract; only the ratios and the capacity matter. The default
+// profiles are calibrated so the simulated cards reproduce the paper's
+// measured shapes (see DESIGN.md §4 and the calibration tests in
+// internal/experiment).
+type Profile struct {
+	// Name identifies the model in results ("EFW", "ADF", ...).
+	Name string
+	// CapacityUnits is the embedded processor budget in cost units per
+	// second. Zero models a wire-speed standard NIC.
+	CapacityUnits float64
+	// BaseCost is the fixed per-packet processing cost.
+	BaseCost float64
+	// PerRuleCost is the cost of examining one rule. The ADF pays more
+	// per rule than the EFW (the paper attributes its lower throughput
+	// to "a less efficient packet filtering algorithm" on identical
+	// hardware).
+	PerRuleCost float64
+	// CryptoPerPacket and CryptoPerByte are the additional costs of
+	// sealing or opening a VPG packet.
+	CryptoPerPacket float64
+	CryptoPerByte   float64
+	// MaxQueue bounds the card's descriptor ring, in packets.
+	MaxQueue int
+	// LockupDeniedPPS, when positive, wedges the card once it denies
+	// more than this many packets within one second — the EFW's
+	// Deny-All failure the paper could not work around. A wedged card
+	// drops all traffic until the firewall agent restarts it.
+	LockupDeniedPPS int
+	// EagerVPGDecrypt, when true, decrypts sealed packets before rule
+	// matching instead of on reaching the matching VPG rule. The real
+	// ADF is lazy — the paper observed that inserting non-matching VPG
+	// rules above the action rule costs almost nothing — and this knob
+	// exists for the ablation that shows why that matters.
+	EagerVPGDecrypt bool
+}
+
+// Standard returns the non-filtering wire-speed NIC profile (the paper's
+// Intel EEPro 100 control).
+func Standard() Profile {
+	return Profile{Name: "Standard"}
+}
+
+// EFW returns the calibrated 3Com Embedded Firewall profile.
+//
+// The paper measured bandwidth with iperf, whose default protocol is
+// TCP, so every data segment costs the card twice: once inbound and once
+// for the outbound ACK. Calibration anchors (1518-byte frames, 100 Mbps
+// => 8,127 fps; x = capacity / (2·(base + perRule·depth)) data pps):
+//   - 64-rule available bandwidth ≈ 50 Mbps  => x(64) ≈ 4,100/s
+//   - <20 rules: no significant loss         => x(19) ≥ 8,127/s
+//   - 1-rule flood of ≈12,500/s => ~0 Mbps   => 2F·(base+1) ≈ capacity at F≈12.5k
+//   - minimum allowed-flood rate at 64 rules ≈ 4,500/s (Figure 3b)
+func EFW() Profile {
+	return Profile{
+		Name:            "EFW",
+		CapacityUnits:   750_000,
+		BaseCost:        29.5,
+		PerRuleCost:     1.0,
+		MaxQueue:        DefaultQueuePackets,
+		LockupDeniedPPS: 1_000,
+	}
+}
+
+// ADF returns the calibrated Autonomic Distributed Firewall profile:
+// identical hardware budget to the EFW, a costlier per-rule match, and
+// VPG cryptography.
+//
+// Calibration anchors:
+//   - 64-rule available bandwidth ≈ 33 Mbps  => capacity/(2·(base+1.78·64)) ≈ 2,700/s
+//   - single-VPG bandwidth well below a standard rule-set, with a
+//     near-linear bandwidth/flood-rate relation (Figure 3a)
+func ADF() Profile {
+	return Profile{
+		Name:            "ADF",
+		CapacityUnits:   750_000,
+		BaseCost:        27,
+		PerRuleCost:     1.78,
+		CryptoPerPacket: 8,
+		CryptoPerByte:   0.05,
+		MaxQueue:        DefaultQueuePackets,
+	}
+}
+
+// NextGen returns a hypothetical next-generation embedded firewall — the
+// paper's closing hope: "new embedded firewall devices that have
+// sufficient tolerance to simple packet flood attacks". It models
+// purpose-built filtering hardware (the design 3Com rejected on cost
+// grounds, §2): an order of magnitude more capacity and a hash-assisted
+// matcher whose per-rule cost is a tenth of the EFW's linear scan. The
+// EXT1 extension experiment shows it survives any 100 Mbps flood.
+func NextGen() Profile {
+	return Profile{
+		Name:          "NextGenFW",
+		CapacityUnits: 7_500_000,
+		BaseCost:      29.5,
+		PerRuleCost:   0.1,
+		MaxQueue:      DefaultQueuePackets,
+	}
+}
+
+// cost returns the processing cost of one packet that traversed the given
+// number of rules, optionally paying crypto for cryptoBytes.
+func (p Profile) cost(rulesTraversed int, cryptoBytes int) float64 {
+	c := p.BaseCost + p.PerRuleCost*float64(rulesTraversed)
+	if cryptoBytes > 0 {
+		c += p.CryptoPerPacket + p.CryptoPerByte*float64(cryptoBytes)
+	}
+	return c
+}

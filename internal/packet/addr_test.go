@@ -1,0 +1,153 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIP(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    IP
+		wantErr bool
+	}{
+		{give: "10.0.0.1", want: IP{10, 0, 0, 1}},
+		{give: "255.255.255.255", want: IP{255, 255, 255, 255}},
+		{give: "0.0.0.0", want: IP{}},
+		{give: "192.168.1.42", want: IP{192, 168, 1, 42}},
+		{give: "1.2.3", wantErr: true},
+		{give: "1.2.3.4.5", wantErr: true},
+		{give: "256.0.0.1", wantErr: true},
+		{give: "a.b.c.d", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseIP(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseIP(%q) = %v, want error", tt.give, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseIP(%q): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Errorf("ParseIP(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIPStringRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		ip := IP{a, b, c, d}
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPFromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("02:00:00:aa:bb:cc")
+	if err != nil {
+		t.Fatalf("ParseMAC: %v", err)
+	}
+	want := MAC{0x02, 0, 0, 0xaa, 0xbb, 0xcc}
+	if m != want {
+		t.Errorf("got %v, want %v", m, want)
+	}
+	if m.String() != "02:00:00:aa:bb:cc" {
+		t.Errorf("String() = %q", m.String())
+	}
+	for _, bad := range []string{"", "02:00:00:aa:bb", "zz:00:00:aa:bb:cc", "02-00-00-aa-bb-cc"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Error("Broadcast.IsBroadcast() = false")
+	}
+	if (MAC{1, 2, 3, 4, 5, 6}).IsBroadcast() {
+		t.Error("unicast address reported as broadcast")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	tests := []struct {
+		prefix string
+		ip     string
+		want   bool
+	}{
+		{prefix: "10.0.0.0/8", ip: "10.1.2.3", want: true},
+		{prefix: "10.0.0.0/8", ip: "11.0.0.1", want: false},
+		{prefix: "192.168.1.0/24", ip: "192.168.1.255", want: true},
+		{prefix: "192.168.1.0/24", ip: "192.168.2.0", want: false},
+		{prefix: "0.0.0.0/0", ip: "203.0.113.7", want: true},
+		{prefix: "10.0.0.5/32", ip: "10.0.0.5", want: true},
+		{prefix: "10.0.0.5/32", ip: "10.0.0.6", want: false},
+		{prefix: "172.16.0.0/12", ip: "172.31.255.255", want: true},
+		{prefix: "172.16.0.0/12", ip: "172.32.0.0", want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.prefix+"_"+tt.ip, func(t *testing.T) {
+			p := MustPrefix(tt.prefix)
+			if got := p.Contains(MustIP(tt.ip)); got != tt.want {
+				t.Errorf("%v.Contains(%v) = %v, want %v", p, tt.ip, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.1")
+	if err != nil {
+		t.Fatalf("ParsePrefix bare addr: %v", err)
+	}
+	if p.Bits != 32 {
+		t.Errorf("bare address parsed as /%d, want /32", p.Bits)
+	}
+	for _, bad := range []string{"10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "10.0.0/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNewPrefixValidates(t *testing.T) {
+	if _, err := NewPrefix(IP{10}, 33); err == nil {
+		t.Error("NewPrefix(33 bits) succeeded")
+	}
+	if _, err := NewPrefix(IP{10}, -1); err == nil {
+		t.Error("NewPrefix(-1 bits) succeeded")
+	}
+	if _, err := NewPrefix(IP{10}, 0); err != nil {
+		t.Errorf("NewPrefix(0 bits): %v", err)
+	}
+}
+
+// Property: a /32 prefix contains exactly its own address.
+func TestPrefix32Property(t *testing.T) {
+	f := func(v, w uint32) bool {
+		p := Prefix{Addr: IPFromUint32(v), Bits: 32}
+		return p.Contains(IPFromUint32(v)) && (v == w || !p.Contains(IPFromUint32(w)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package packet
+
+// Checksum computes the RFC 1071 internet checksum over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumWords(0, data))
+}
+
+// sumWords accumulates 16-bit big-endian words of data into sum. An odd
+// trailing byte is padded with zero, per RFC 1071.
+func sumWords(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum accumulates the IPv4 pseudo-header used by TCP and UDP
+// checksums: source, destination, zero+protocol, and the transport length.
+func pseudoHeaderSum(src, dst IP, proto Protocol, length int) uint32 {
+	var sum uint32
+	sum = sumWords(sum, src[:])
+	sum = sumWords(sum, dst[:])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the TCP/UDP checksum of segment (header plus
+// payload) with the IPv4 pseudo-header for src/dst/proto.
+func TransportChecksum(src, dst IP, proto Protocol, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	return finishChecksum(sumWords(sum, segment))
+}

@@ -1,0 +1,90 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes carried on the simulated network.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	// EtherTypeVPG marks frames sealed by a virtual private group. Real
+	// ADF cards carry VPG data in-band; we use a dedicated EtherType so
+	// sealed frames are unambiguous on the wire.
+	EtherTypeVPG EtherType = 0x88b7 // OUI extended ethertype, locally chosen
+)
+
+// Ethernet layer constants, in bytes.
+const (
+	EthernetHeaderLen = 14
+	EthernetFCSLen    = 4
+	// EthernetOverhead is the per-frame wire overhead outside the
+	// header+payload+FCS: 7-byte preamble, 1-byte SFD, 12-byte minimum
+	// inter-frame gap.
+	EthernetOverhead = 20
+	// MaxPayload is the standard Ethernet MTU.
+	MaxPayload = 1500
+	// MinFrameLen is the minimum Ethernet frame length (header + payload
+	// + FCS); shorter frames are padded on the wire.
+	MinFrameLen = 64
+	// MaxFrameLen is the maximum standard frame length: 14-byte header +
+	// 1500-byte payload + 4-byte FCS = 1518, the size the paper floods
+	// with in the bandwidth experiments.
+	MaxFrameLen = EthernetHeaderLen + MaxPayload + EthernetFCSLen
+)
+
+// Frame is an Ethernet II frame.
+type Frame struct {
+	Dst     MAC
+	Src     MAC
+	Type    EtherType
+	Payload []byte
+}
+
+// FrameLen returns the frame length counted the way the paper counts it:
+// header + payload + FCS, padded to the Ethernet minimum.
+func (f *Frame) FrameLen() int {
+	n := EthernetHeaderLen + len(f.Payload) + EthernetFCSLen
+	if n < MinFrameLen {
+		n = MinFrameLen
+	}
+	return n
+}
+
+// WireLen returns the number of byte times the frame occupies on the
+// medium, including preamble and inter-frame gap. This is the quantity
+// that bounds achievable frame rates on a 100 Mbps link.
+func (f *Frame) WireLen() int { return f.FrameLen() + EthernetOverhead }
+
+// Marshal encodes the frame header and payload (FCS is not materialized;
+// the simulated medium does not corrupt frames).
+func (f *Frame) Marshal() []byte {
+	b := make([]byte, EthernetHeaderLen+len(f.Payload))
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(f.Type))
+	copy(b[14:], f.Payload)
+	return b
+}
+
+// UnmarshalFrame parses an encoded Ethernet frame. The returned frame's
+// payload aliases b.
+func UnmarshalFrame(b []byte) (*Frame, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("packet: ethernet frame too short (%d bytes)", len(b))
+	}
+	f := &Frame{Type: EtherType(binary.BigEndian.Uint16(b[12:14])), Payload: b[14:]}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	return f, nil
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.Payload = append([]byte(nil), f.Payload...)
+	return &c
+}

@@ -1,0 +1,59 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the simulator.
+const (
+	ICMPEchoReply       = 0
+	ICMPDestUnreach     = 3
+	ICMPEchoRequest     = 8
+	ICMPTimeExceeded    = 11
+	ICMPCodePortUnreach = 3 // code for ICMPDestUnreach
+)
+
+// ICMPHeaderLen is the fixed ICMP header length.
+const ICMPHeaderLen = 8
+
+// ICMPMessage is an ICMP header plus body.
+type ICMPMessage struct {
+	Type uint8
+	Code uint8
+	// ID and Seq hold the identifier/sequence for echo messages and the
+	// unused field otherwise.
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// Marshal encodes the message with a correct checksum.
+func (m *ICMPMessage) Marshal() []byte {
+	b := make([]byte, ICMPHeaderLen+len(m.Payload))
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:6], m.ID)
+	binary.BigEndian.PutUint16(b[6:8], m.Seq)
+	copy(b[ICMPHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// UnmarshalICMPMessage parses an ICMP message and verifies its checksum.
+// The payload aliases b.
+func UnmarshalICMPMessage(b []byte) (*ICMPMessage, error) {
+	if len(b) < ICMPHeaderLen {
+		return nil, fmt.Errorf("packet: ICMP message too short (%d bytes)", len(b))
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("packet: ICMP checksum mismatch")
+	}
+	return &ICMPMessage{
+		Type:    b[0],
+		Code:    b[1],
+		ID:      binary.BigEndian.Uint16(b[4:6]),
+		Seq:     binary.BigEndian.Uint16(b[6:8]),
+		Payload: b[ICMPHeaderLen:],
+	}, nil
+}

@@ -1,0 +1,53 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// UDPDatagram is a UDP header plus payload.
+type UDPDatagram struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal encodes the datagram with a correct checksum computed over the
+// IPv4 pseudo-header for src and dst.
+func (u *UDPDatagram) Marshal(src, dst IP) []byte {
+	b := make([]byte, UDPHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[UDPHeaderLen:], u.Payload)
+	sum := TransportChecksum(src, dst, ProtoUDP, b)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted all-ones when computed zero
+	}
+	binary.BigEndian.PutUint16(b[6:8], sum)
+	return b
+}
+
+// UnmarshalUDPDatagram parses a UDP datagram and verifies its checksum.
+// The payload aliases b.
+func UnmarshalUDPDatagram(src, dst IP, b []byte) (*UDPDatagram, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("packet: UDP datagram too short (%d bytes)", len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < UDPHeaderLen || length > len(b) {
+		return nil, fmt.Errorf("packet: bad UDP length %d (buffer %d)", length, len(b))
+	}
+	b = b[:length]
+	if binary.BigEndian.Uint16(b[6:8]) != 0 && TransportChecksum(src, dst, ProtoUDP, b) != 0 {
+		return nil, fmt.Errorf("packet: UDP checksum mismatch")
+	}
+	return &UDPDatagram{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: b[UDPHeaderLen:],
+	}, nil
+}

@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"fmt"
+
+	"barbican/internal/fw"
+	"barbican/internal/nic"
+	"barbican/internal/packet"
+	"barbican/internal/stack"
+	"barbican/internal/vpg"
+)
+
+// AgentStats counts agent activity.
+type AgentStats struct {
+	Installs   uint64
+	AuthFails  uint64
+	ParseFails uint64
+	StaleDrops uint64 // pushes older than the installed version
+	Restarts   uint64
+}
+
+// Agent is the firewall agent running on a protected host: it receives
+// signed policy pushes from the central server and installs them on the
+// host's filtering card. It is also the component the operator restarts
+// to clear the EFW's Deny-All lockup.
+type Agent struct {
+	host *stack.Host
+	card *nic.NIC
+	psk  []byte
+
+	installedVersion uint32
+	installed        *fw.RuleSet
+	installedGroups  []*vpg.Group
+	listener         *stack.Listener
+	stats            AgentStats
+
+	// OnInstall, when set, observes successful installs.
+	OnInstall func(version uint32, rs *fw.RuleSet)
+}
+
+// NewAgent starts an agent on the host, managing the host's NIC. The
+// card's management bypass is armed for server, so a freshly pushed
+// deny-all policy cannot sever the control channel.
+func NewAgent(h *stack.Host, server packet.IP, psk []byte) (*Agent, error) {
+	a := &Agent{host: h, card: h.NIC(), psk: psk}
+	l, err := h.ListenTCP(AgentPort, a.serve)
+	if err != nil {
+		return nil, fmt.Errorf("policy: agent: %w", err)
+	}
+	a.listener = l
+	a.card.SetManagementBypass(server, AgentPort)
+	return a, nil
+}
+
+// InstalledVersion returns the version of the currently enforced policy
+// (0 before the first push).
+func (a *Agent) InstalledVersion() uint32 { return a.installedVersion }
+
+// Installed returns the enforced rule set (nil before the first push).
+func (a *Agent) Installed() *fw.RuleSet { return a.installed }
+
+// Stats returns a snapshot of the agent counters.
+func (a *Agent) Stats() AgentStats { return a.stats }
+
+// InstalledGroups returns the names of the provisioned VPGs.
+func (a *Agent) InstalledGroups() []string {
+	names := make([]string, 0, len(a.installedGroups))
+	for _, g := range a.installedGroups {
+		names = append(names, g.Name())
+	}
+	return names
+}
+
+// Restart restarts the agent software: the card is reset (clearing a
+// lockup) and the current policy and groups re-installed.
+func (a *Agent) Restart() {
+	a.stats.Restarts++
+	a.card.RestartAgent()
+	if a.installed != nil {
+		a.card.InstallRuleSet(a.installed)
+	}
+	for _, g := range a.installedGroups {
+		// Re-installation of a surviving group cannot fail membership
+		// validation; ignore the impossible error.
+		_ = a.card.InstallGroup(g, a.host.IP())
+	}
+}
+
+// Close stops accepting pushes.
+func (a *Agent) Close() { a.listener.Close() }
+
+func (a *Agent) serve(c *stack.Conn) {
+	var buf []byte
+	c.OnData = func(p []byte) {
+		buf = append(buf, p...)
+		msg, n, err := decodePush(a.psk, buf)
+		if err != nil {
+			if err == ErrBadMAC {
+				a.stats.AuthFails++
+			}
+			if werr := c.Write(encodeErr(err.Error())); werr == nil {
+				c.Close()
+			}
+			return
+		}
+		if msg == nil {
+			return // need more bytes
+		}
+		buf = buf[n:]
+		a.handlePush(c, msg)
+	}
+}
+
+func (a *Agent) handlePush(c *stack.Conn, msg *pushMessage) {
+	if msg.Version <= a.installedVersion {
+		a.stats.StaleDrops++
+		if err := c.Write(encodeErr(fmt.Sprintf("stale version %d (installed %d)", msg.Version, a.installedVersion))); err == nil {
+			c.Close()
+		}
+		return
+	}
+	rs, err := Parse(msg.Text)
+	if err != nil {
+		a.stats.ParseFails++
+		if werr := c.Write(encodeErr(err.Error())); werr == nil {
+			c.Close()
+		}
+		return
+	}
+	// Provision the pushed VPGs before enforcing rules that require them.
+	groups := make([]*vpg.Group, 0, len(msg.Groups))
+	for _, def := range msg.Groups {
+		g, err := vpg.NewGroup(def.Name, def.Key, def.Members...)
+		if err == nil {
+			err = a.card.InstallGroup(g, a.host.IP())
+		}
+		if err != nil {
+			a.stats.ParseFails++
+			if werr := c.Write(encodeErr(fmt.Sprintf("group %q: %v", def.Name, err))); werr == nil {
+				c.Close()
+			}
+			return
+		}
+		groups = append(groups, g)
+	}
+	a.installedGroups = groups
+	a.installed = rs
+	a.installedVersion = msg.Version
+	a.card.InstallRuleSet(rs)
+	a.stats.Installs++
+	if a.OnInstall != nil {
+		a.OnInstall(msg.Version, rs)
+	}
+	if err := c.Write(encodeOK(msg.Version)); err == nil {
+		c.Close()
+	}
+}

@@ -1,0 +1,27 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"barbican/internal/policy"
+)
+
+// Policies are plain text and round-trip through Parse/Format.
+func ExampleParse() {
+	rs, err := policy.Parse(`
+allow in proto tcp from any to 10.0.0.2/32 port 80  # web
+deny  in proto icmp from any to any
+default deny
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d rules, default %v\n", rs.Len(), rs.Default())
+	fmt.Print(policy.Format(rs))
+	// Output:
+	// 2 rules, default deny
+	// allow in proto tcp from any to 10.0.0.2/32 port 80 # web
+	// deny in proto icmp from any to any
+	// default deny
+}

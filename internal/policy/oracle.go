@@ -1,0 +1,41 @@
+package policy
+
+// OraclePolicy is a canned policy modeled on 3Com's recommended
+// protection for an Oracle database server, which the paper cites as
+// requiring at least 31 rules — the example that makes "keep rule-sets
+// under eight rules" impractical advice.
+const OraclePolicy = `# Oracle database server protection (after 3Com's recommended rule-set)
+deny in proto tcp from any to any port 135-139            # block NetBIOS
+deny in proto udp from any to any port 135-139
+deny in proto tcp from any to any port 445                # block SMB
+allow in proto tcp from 10.0.0.0/24 to any port 1521      # TNS listener
+allow in proto tcp from 10.0.0.0/24 to any port 1522      # TNS listener (failover)
+allow in proto tcp from 10.0.0.0/24 to any port 1526      # TNS alternate
+allow in proto tcp from 10.0.0.0/24 to any port 1575      # Oracle names
+allow in proto tcp from 10.0.0.0/24 to any port 1630      # connection manager
+allow in proto tcp from 10.0.0.0/24 to any port 1830      # connection manager admin
+allow in proto tcp from 10.0.0.0/24 to any port 2481      # IIOP
+allow in proto tcp from 10.0.0.0/24 to any port 2482      # IIOP/SSL
+allow in proto tcp from 10.0.0.0/24 to any port 2483      # TTC
+allow in proto tcp from 10.0.0.0/24 to any port 2484      # TTC/SSL
+allow in proto tcp from 10.0.0.0/24 to any port 2100      # XDB FTP
+allow in proto tcp from 10.0.0.0/24 to any port 8080      # XDB HTTP
+allow in proto tcp from 10.0.0.10/32 to any port 1810     # enterprise manager
+allow in proto tcp from 10.0.0.10/32 to any port 1812     # EM reporting
+allow in proto tcp from 10.0.0.10/32 to any port 5500     # EM console
+allow in proto tcp from 10.0.0.10/32 to any port 5520     # EM agent
+allow in proto tcp from 10.0.0.10/32 to any port 3938     # EM upload
+allow in proto tcp from 10.0.0.10/32 to any port 22       # managed ssh
+allow in proto icmp from 10.0.0.10/32 to any              # monitoring ping
+allow out proto tcp from any port 1521 to 10.0.0.0/24     # listener replies
+allow out proto tcp from any port 2481-2484 to 10.0.0.0/24
+allow out proto tcp from any port 8080 to 10.0.0.0/24
+allow out proto udp from any port 1024-65535 to 10.0.0.10/32 port 53   # DNS
+allow out proto udp from any port 1024-65535 to 10.0.0.10/32 port 123  # NTP
+allow out proto tcp from any port 1024-65535 to 10.0.0.10/32 port 25   # alert mail
+allow out proto icmp from any to 10.0.0.10/32
+deny in proto udp from any to any port 161-162            # no external SNMP
+deny in proto tcp from any to any port 23                 # no telnet
+deny both proto tcp from any to any port 512-514          # no r-services
+default deny
+`

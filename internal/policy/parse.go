@@ -1,0 +1,266 @@
+// Package policy implements the central policy server of the EFW/ADF
+// architecture: a small policy language, versioned signed distribution
+// of rule-sets to per-host firewall agents over the (simulated) network,
+// and an audit log.
+//
+// Policy text round-trips with fw's String renderings:
+//
+//	# protect the web server
+//	allow in proto tcp from any to 10.0.0.2/32 port 80
+//	deny in proto udp from 10.0.0.0/8 to any
+//	allow in vpg psq from 10.0.0.0/24 to 10.0.0.2/32
+//	default deny
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"barbican/internal/fw"
+	"barbican/internal/packet"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policy: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse compiles policy text into a rule set. A "default allow|deny"
+// line is required (the embedded cards always have a default action).
+func Parse(text string) (*fw.RuleSet, error) {
+	var (
+		rules      []fw.Rule
+		def        fw.Action
+		sawDefault bool
+	)
+	for i, raw := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			// Trailing comments name the rule, standalone ones are skipped.
+			comment := strings.TrimSpace(line[idx+1:])
+			line = strings.TrimSpace(line[:idx])
+			if line == "" {
+				continue
+			}
+			r, err := parseRule(line, comment)
+			if err != nil {
+				return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+			}
+			rules = append(rules, r)
+			continue
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "default "); ok {
+			if sawDefault {
+				return nil, &ParseError{Line: lineNo, Msg: "duplicate default action"}
+			}
+			a, err := parseAction(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+			}
+			def = a
+			sawDefault = true
+			continue
+		}
+		r, err := parseRule(line, "")
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		rules = append(rules, r)
+	}
+	if !sawDefault {
+		return nil, &ParseError{Line: 0, Msg: `missing "default allow|deny" line`}
+	}
+	rs, err := fw.NewRuleSet(def, rules...)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	return rs, nil
+}
+
+// Format renders a rule set as policy text that Parse accepts.
+func Format(rs *fw.RuleSet) string { return rs.String() }
+
+func parseAction(s string) (fw.Action, error) {
+	switch s {
+	case "allow":
+		return fw.Allow, nil
+	case "deny":
+		return fw.Deny, nil
+	default:
+		return 0, fmt.Errorf("unknown action %q", s)
+	}
+}
+
+func parseDirection(s string) (fw.Direction, error) {
+	switch s {
+	case "in":
+		return fw.In, nil
+	case "out":
+		return fw.Out, nil
+	case "both":
+		return fw.Both, nil
+	default:
+		return 0, fmt.Errorf("unknown direction %q", s)
+	}
+}
+
+func parseProto(s string) (packet.Protocol, error) {
+	switch s {
+	case "tcp":
+		return packet.ProtoTCP, nil
+	case "udp":
+		return packet.ProtoUDP, nil
+	case "icmp":
+		return packet.ProtoICMP, nil
+	default:
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 && n <= 255 {
+			return packet.Protocol(n), nil
+		}
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func parsePrefix(s string) (packet.Prefix, error) {
+	if s == "any" {
+		return packet.Prefix{}, nil
+	}
+	return packet.ParsePrefix(s)
+}
+
+func parsePorts(s string) (fw.PortRange, error) {
+	if s == "any" {
+		return fw.AnyPort, nil
+	}
+	lo, hi, found := strings.Cut(s, "-")
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return fw.AnyPort, fmt.Errorf("bad port %q", s)
+	}
+	if !found {
+		return fw.Port(uint16(l)), nil
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return fw.AnyPort, fmt.Errorf("bad port range %q", s)
+	}
+	return fw.Ports(uint16(l), uint16(h)), nil
+}
+
+// parseRule parses one rule line (without comment) using a small token
+// walker.
+func parseRule(line, name string) (fw.Rule, error) {
+	toks := strings.Fields(line)
+	pos := 0
+	next := func() (string, bool) {
+		if pos >= len(toks) {
+			return "", false
+		}
+		t := toks[pos]
+		pos++
+		return t, true
+	}
+	peek := func() string {
+		if pos >= len(toks) {
+			return ""
+		}
+		return toks[pos]
+	}
+
+	var r fw.Rule
+	r.Name = name
+
+	tok, ok := next()
+	if !ok {
+		return r, fmt.Errorf("empty rule")
+	}
+	a, err := parseAction(tok)
+	if err != nil {
+		return r, err
+	}
+	r.Action = a
+
+	tok, ok = next()
+	if !ok {
+		return r, fmt.Errorf("missing direction")
+	}
+	d, err := parseDirection(tok)
+	if err != nil {
+		return r, err
+	}
+	r.Direction = d
+
+	switch peek() {
+	case "proto":
+		next()
+		tok, ok = next()
+		if !ok {
+			return r, fmt.Errorf("missing protocol")
+		}
+		p, err := parseProto(tok)
+		if err != nil {
+			return r, err
+		}
+		r.Proto = p
+	case "vpg":
+		next()
+		tok, ok = next()
+		if !ok {
+			return r, fmt.Errorf("missing VPG name")
+		}
+		r.VPG = tok
+	}
+
+	// from <addr> [port <range>] to <addr> [port <range>]
+	parseEndpoint := func(keyword string) (packet.Prefix, fw.PortRange, error) {
+		tok, ok := next()
+		if !ok || tok != keyword {
+			return packet.Prefix{}, fw.AnyPort, fmt.Errorf("expected %q, got %q", keyword, tok)
+		}
+		tok, ok = next()
+		if !ok {
+			return packet.Prefix{}, fw.AnyPort, fmt.Errorf("missing address after %q", keyword)
+		}
+		prefix, err := parsePrefix(tok)
+		if err != nil {
+			return packet.Prefix{}, fw.AnyPort, err
+		}
+		ports := fw.AnyPort
+		if peek() == "port" {
+			next()
+			tok, ok = next()
+			if !ok {
+				return packet.Prefix{}, fw.AnyPort, fmt.Errorf("missing port range")
+			}
+			ports, err = parsePorts(tok)
+			if err != nil {
+				return packet.Prefix{}, fw.AnyPort, err
+			}
+		}
+		return prefix, ports, nil
+	}
+
+	if r.Src, r.SrcPorts, err = parseEndpoint("from"); err != nil {
+		return r, err
+	}
+	if r.Dst, r.DstPorts, err = parseEndpoint("to"); err != nil {
+		return r, err
+	}
+	if tok := peek(); tok != "" {
+		return r, fmt.Errorf("trailing tokens starting at %q", tok)
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"barbican/internal/fw"
+	"barbican/internal/packet"
+)
+
+func TestParseBasicPolicy(t *testing.T) {
+	text := `
+# protect the web server
+allow in proto tcp from any to 10.0.0.2/32 port 80  # web
+allow in proto tcp from any to 10.0.0.2/32 port 443
+deny in proto udp from 10.0.0.0/8 to any
+allow out proto udp from 10.0.0.2 port 1024-65535 to any port 53
+default deny
+`
+	rs, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("rules = %d, want 4", rs.Len())
+	}
+	if rs.Default() != fw.Deny {
+		t.Error("default != deny")
+	}
+	r := rs.Rule(1)
+	if r.Name != "web" || r.Action != fw.Allow || r.Direction != fw.In ||
+		r.Proto != packet.ProtoTCP || r.DstPorts != fw.Port(80) {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	if got := rs.Rule(1).Dst.String(); got != "10.0.0.2/32" {
+		t.Errorf("rule 1 dst = %s", got)
+	}
+	r4 := rs.Rule(4)
+	if r4.SrcPorts != fw.Ports(1024, 65535) || r4.DstPorts != fw.Port(53) {
+		t.Errorf("rule 4 ports = %v / %v", r4.SrcPorts, r4.DstPorts)
+	}
+	// Bare address parses as /32.
+	if r4.Src.Bits != 32 {
+		t.Errorf("bare address bits = %d", r4.Src.Bits)
+	}
+}
+
+func TestParseVPGRule(t *testing.T) {
+	rs, err := Parse("allow in vpg psq from 10.0.0.0/24 to 10.0.0.2/32\ndefault deny\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rule(1).VPG != "psq" {
+		t.Errorf("VPG = %q", rs.Rule(1).VPG)
+	}
+}
+
+func TestParseNumericProtocol(t *testing.T) {
+	rs, err := Parse("deny in proto 47 from any to any\ndefault allow\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rule(1).Proto != packet.Protocol(47) {
+		t.Errorf("proto = %v", rs.Rule(1).Proto)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want string
+	}{
+		{name: "no default", text: "allow in from any to any\n", want: "missing \"default"},
+		{name: "bad action", text: "permit in from any to any\ndefault deny", want: "unknown action"},
+		{name: "bad direction", text: "allow sideways from any to any\ndefault deny", want: "unknown direction"},
+		{name: "bad proto", text: "allow in proto quic from any to any\ndefault deny", want: "unknown protocol"},
+		{name: "missing to", text: "allow in from any\ndefault deny", want: `expected "to"`},
+		{name: "bad port", text: "allow in proto tcp from any to any port http\ndefault deny", want: "bad port"},
+		{name: "trailing", text: "allow in from any to any extra\ndefault deny", want: "trailing"},
+		{name: "double default", text: "default deny\ndefault allow", want: "duplicate default"},
+		{name: "bad cidr", text: "allow in from 10.0.0.0/40 to any\ndefault deny", want: "invalid prefix"},
+		{name: "vpg with ports", text: "allow in vpg g from any to any port 80\ndefault deny", want: "port match requires"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.text)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Parse = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	_, err := Parse("allow in from any to any\nbogus line here\ndefault deny\n")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	rules := []fw.Rule{
+		{Name: "web", Action: fw.Allow, Direction: fw.In, Proto: packet.ProtoTCP,
+			Dst: packet.MustPrefix("10.0.0.2/32"), DstPorts: fw.Port(80)},
+		{Action: fw.Deny, Direction: fw.Both, Proto: packet.ProtoICMP},
+		{Name: "g-in", Action: fw.Allow, Direction: fw.In, VPG: "g",
+			Src: packet.MustPrefix("10.0.0.0/24")},
+		{Action: fw.Allow, Direction: fw.Out, Proto: packet.ProtoUDP,
+			SrcPorts: fw.Ports(1024, 65535), DstPorts: fw.Port(53)},
+	}
+	rs := fw.MustRuleSet(fw.Deny, rules...)
+	back, err := Parse(Format(rs))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if back.Len() != rs.Len() || back.Default() != rs.Default() {
+		t.Fatalf("round trip shape mismatch: %d/%v vs %d/%v",
+			back.Len(), back.Default(), rs.Len(), rs.Default())
+	}
+	for i := 1; i <= rs.Len(); i++ {
+		a, b := rs.Rule(i), back.Rule(i)
+		if a.Action != b.Action || a.Direction != b.Direction || a.Proto != b.Proto ||
+			a.Src != b.Src || a.Dst != b.Dst || a.SrcPorts != b.SrcPorts ||
+			a.DstPorts != b.DstPorts || a.VPG != b.VPG {
+			t.Errorf("rule %d mismatch:\n a=%+v\n b=%+v", i, a, b)
+		}
+	}
+}
+
+func TestOraclePolicyNeedsDeepRuleSet(t *testing.T) {
+	// The paper cites 3Com's recommended Oracle protection needing at
+	// least 31 rules; our shipped example policy must be that deep.
+	rs, err := Parse(OraclePolicy)
+	if err != nil {
+		t.Fatalf("OraclePolicy: %v", err)
+	}
+	if rs.Len() < 31 {
+		t.Errorf("Oracle policy has %d rules, want >= 31", rs.Len())
+	}
+}

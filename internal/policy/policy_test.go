@@ -1,0 +1,246 @@
+package policy_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"barbican/internal/core"
+	"barbican/internal/measure"
+	"barbican/internal/packet"
+	"barbican/internal/policy"
+)
+
+func newFlood(tb *core.Testbed, rate float64) *measure.Flooder {
+	return measure.NewFlooder(tb.Attacker, tb.Target.IP(), measure.FloodConfig{
+		RatePPS: rate,
+		DstPort: core.FloodPort,
+	})
+}
+
+const webPolicy = `allow in proto tcp from any to 10.0.0.2/32 port 80
+allow out proto tcp from 10.0.0.2/32 port 80 to any
+default deny
+`
+
+func setup(t *testing.T) (*core.Testbed, *policy.Server, *policy.Agent) {
+	t.Helper()
+	tb, err := core.NewTestbed(core.TestbedOptions{TargetDevice: core.DeviceEFW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psk := policy.DeriveKey("test")
+	srv := policy.NewServer(tb.PolicyServer, psk)
+	agent, err := policy.NewAgent(tb.Target, tb.PolicyServer.IP(), psk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, srv, agent
+}
+
+func TestPushInstallsPolicyOnCard(t *testing.T) {
+	tb, srv, agent := setup(t)
+	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var result error = errors.New("never finished")
+	if err := srv.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if result != nil {
+		t.Fatalf("push outcome: %v", result)
+	}
+	if agent.InstalledVersion() != 1 {
+		t.Errorf("installed version = %d, want 1", agent.InstalledVersion())
+	}
+	rs := tb.Target.NIC().RuleSet()
+	if rs == nil || rs.Len() != 2 {
+		t.Fatalf("card rule set = %v", rs)
+	}
+	audit := srv.Audit()
+	if len(audit) != 1 || !audit[0].OK {
+		t.Errorf("audit = %v", audit)
+	}
+}
+
+func TestPushRejectsWrongKey(t *testing.T) {
+	tb, _, agent := setup(t)
+	evil := policy.NewServer(tb.Attacker, policy.DeriveKey("WRONG"))
+	if _, err := evil.SetPolicy("target", "allow both from any to any\ndefault allow\n"); err != nil {
+		t.Fatal(err)
+	}
+	var result error
+	if err := evil.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if result == nil || !strings.Contains(result.Error(), "authentication") {
+		t.Errorf("forged push outcome: %v, want auth failure", result)
+	}
+	if agent.InstalledVersion() != 0 {
+		t.Error("forged policy was installed")
+	}
+	if agent.Stats().AuthFails != 1 {
+		t.Errorf("AuthFails = %d, want 1", agent.Stats().AuthFails)
+	}
+	if tb.Target.NIC().RuleSet() != nil {
+		t.Error("card accepted forged rules")
+	}
+}
+
+func TestPushRejectsStaleVersion(t *testing.T) {
+	tb, srv, agent := setup(t)
+	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Push("target", tb.Target.IP(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second server instance replays version 1; the agent refuses.
+	replay := policy.NewServer(tb.PolicyServer, policy.DeriveKey("test"))
+	if _, err := replay.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var result error
+	if err := replay.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if result == nil || !strings.Contains(result.Error(), "stale") {
+		t.Errorf("replayed push outcome: %v, want stale rejection", result)
+	}
+	if agent.Stats().StaleDrops != 1 {
+		t.Errorf("StaleDrops = %d", agent.Stats().StaleDrops)
+	}
+}
+
+func TestPushUpdatesVersion(t *testing.T) {
+	tb, srv, agent := setup(t)
+	for i := 0; i < 3; i++ {
+		if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, v, ok := srv.Policy("target"); !ok || v != 3 {
+		t.Fatalf("stored version = %d, want 3", v)
+	}
+	if err := srv.Push("target", tb.Target.IP(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if agent.InstalledVersion() != 3 {
+		t.Errorf("installed = %d, want 3", agent.InstalledVersion())
+	}
+}
+
+func TestPushToDeadAgentTimesOut(t *testing.T) {
+	tb, err := core.NewTestbed(core.TestbedOptions{TargetDevice: core.DeviceEFW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := policy.NewServer(tb.PolicyServer, policy.DeriveKey("test"))
+	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var result error
+	// No agent is listening: the target stack RSTs the connection.
+	if err := srv.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if result == nil {
+		t.Error("push to dead agent reported success")
+	}
+	audit := srv.Audit()
+	if len(audit) != 1 || audit[0].OK {
+		t.Errorf("audit = %v", audit)
+	}
+}
+
+func TestAgentRestartClearsLockupAndKeepsPolicy(t *testing.T) {
+	tb, srv, agent := setup(t)
+	if _, err := srv.SetPolicy("target", "default deny\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Push("target", tb.Target.IP(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood the deny-all EFW over the lockup threshold.
+	flood := newFlood(tb, 2000)
+	flood.Start()
+	if err := tb.Kernel.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flood.Stop()
+	if !tb.Target.NIC().Locked() {
+		t.Fatal("EFW did not lock up")
+	}
+
+	agent.Restart()
+	if tb.Target.NIC().Locked() {
+		t.Error("restart did not clear the lockup")
+	}
+	if tb.Target.NIC().RuleSet() == nil {
+		t.Error("restart lost the installed policy")
+	}
+	if agent.Stats().Restarts != 1 {
+		t.Errorf("Restarts = %d", agent.Stats().Restarts)
+	}
+}
+
+func TestPolicyRequiresValidation(t *testing.T) {
+	_, srv, _ := setup(t)
+	if _, err := srv.SetPolicy("target", "garbage\n"); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if err := srv.Push("nobody", core.TargetIP, nil); err == nil {
+		t.Error("push without stored policy accepted")
+	}
+}
+
+func TestPushAllAggregatesOutcomes(t *testing.T) {
+	tb, srv, _ := setup(t)
+	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SetPolicy("ghost", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes map[string]error
+	srv.PushAll(map[string]packet.IP{
+		"target": tb.Target.IP(),
+		"ghost":  core.AttackerIP, // no agent there
+	}, func(o map[string]error) { outcomes = o })
+	if err := tb.Kernel.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if outcomes == nil {
+		t.Fatal("done never fired")
+	}
+	if outcomes["target"] != nil {
+		t.Errorf("target outcome: %v", outcomes["target"])
+	}
+	if outcomes["ghost"] == nil {
+		t.Error("ghost push reported success")
+	}
+}

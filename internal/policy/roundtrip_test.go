@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"barbican/internal/fw"
+	"barbican/internal/packet"
+)
+
+// randomRule builds an arbitrary-but-valid rule from raw fuzz inputs.
+func randomRule(r *rand.Rand) fw.Rule {
+	actions := []fw.Action{fw.Allow, fw.Deny}
+	dirs := []fw.Direction{fw.In, fw.Out, fw.Both}
+	protos := []packet.Protocol{0, packet.ProtoTCP, packet.ProtoUDP, packet.ProtoICMP, 47}
+
+	rule := fw.Rule{
+		Action:    actions[r.Intn(len(actions))],
+		Direction: dirs[r.Intn(len(dirs))],
+		Proto:     protos[r.Intn(len(protos))],
+	}
+	if r.Intn(2) == 0 {
+		rule.Src = packet.Prefix{Addr: packet.IPFromUint32(r.Uint32()), Bits: 1 + r.Intn(32)}
+		// Canonicalize: formatting keeps host bits, so parse-compare
+		// works either way, but keep addresses masked for readability.
+	}
+	if r.Intn(2) == 0 {
+		rule.Dst = packet.Prefix{Addr: packet.IPFromUint32(r.Uint32()), Bits: 1 + r.Intn(32)}
+	}
+	// Ports require TCP/UDP.
+	if rule.Proto == packet.ProtoTCP || rule.Proto == packet.ProtoUDP {
+		if r.Intn(2) == 0 {
+			lo := uint16(r.Intn(65535))
+			rule.SrcPorts = fw.Ports(lo, lo+uint16(r.Intn(int(65535-lo)+1)))
+		}
+		if r.Intn(2) == 0 {
+			lo := uint16(r.Intn(65535))
+			rule.DstPorts = fw.Ports(lo, lo+uint16(r.Intn(int(65535-lo)+1)))
+		}
+	}
+	// Occasionally make it a VPG rule instead (no proto/ports).
+	if r.Intn(5) == 0 {
+		rule.Action = fw.Allow
+		rule.Proto = 0
+		rule.SrcPorts, rule.DstPorts = fw.AnyPort, fw.AnyPort
+		rule.VPG = "g" + string(rune('a'+r.Intn(26)))
+	}
+	return rule
+}
+
+// Property: Format ∘ Parse is the identity on rule-set structure for
+// arbitrary valid rule sets.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%16
+		rules := make([]fw.Rule, 0, n)
+		for i := 0; i < n; i++ {
+			rules = append(rules, randomRule(r))
+		}
+		def := fw.Allow
+		if r.Intn(2) == 0 {
+			def = fw.Deny
+		}
+		rs, err := fw.NewRuleSet(def, rules...)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(Format(rs))
+		if err != nil {
+			t.Logf("parse failed: %v\npolicy:\n%s", err, Format(rs))
+			return false
+		}
+		if back.Len() != rs.Len() || back.Default() != rs.Default() {
+			return false
+		}
+		for i := 1; i <= rs.Len(); i++ {
+			a, b := rs.Rule(i), back.Rule(i)
+			if a.Action != b.Action || a.Direction != b.Direction || a.Proto != b.Proto ||
+				a.Src != b.Src || a.Dst != b.Dst ||
+				a.SrcPorts != b.SrcPorts || a.DstPorts != b.DstPorts || a.VPG != b.VPG {
+				t.Logf("rule %d mismatch:\n a=%+v\n b=%+v\npolicy:\n%s", i, a, b, Format(rs))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsed rule sets give identical verdicts to the originals
+// for arbitrary packets (semantic, not just structural, round-trip).
+func TestRoundTripPreservesVerdictsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := rand.New(rand.NewSource(1234))
+	rules := make([]fw.Rule, 0, 12)
+	for i := 0; i < 12; i++ {
+		rules = append(rules, randomRule(r))
+	}
+	rs := fw.MustRuleSet(fw.Deny, rules...)
+	back, err := Parse(Format(rs))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+
+	f := func(srcRaw, dstRaw uint32, sport, dport uint16, protoPick, dirPick, sealed uint8) bool {
+		protos := []packet.Protocol{packet.ProtoTCP, packet.ProtoUDP, packet.ProtoICMP, 47}
+		proto := protos[int(protoPick)%len(protos)]
+		dir := fw.In
+		if dirPick%2 == 1 {
+			dir = fw.Out
+		}
+		s := packet.Summary{
+			Proto: proto,
+			Src:   packet.IPFromUint32(srcRaw), Dst: packet.IPFromUint32(dstRaw),
+			SrcPort: sport, DstPort: dport,
+			HasPorts: proto == packet.ProtoTCP || proto == packet.ProtoUDP,
+			Sealed:   sealed%5 == 0,
+		}
+		va, vb := rs.Eval(s, dir), back.Eval(s, dir)
+		return va.Action == vb.Action && va.Index == vb.Index && va.Traversed == vb.Traversed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

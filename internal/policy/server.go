@@ -1,0 +1,227 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"barbican/internal/packet"
+	"barbican/internal/stack"
+	"barbican/internal/vpg"
+)
+
+// DeriveKey derives the pre-shared distribution key from a passphrase.
+func DeriveKey(passphrase string) []byte {
+	sum := sha256.Sum256([]byte("barbican-policy-psk:" + passphrase))
+	return sum[:]
+}
+
+// AuditEvent records one policy-distribution outcome.
+type AuditEvent struct {
+	At      time.Duration // virtual time
+	Device  string
+	Target  packet.IP
+	Version uint32
+	OK      bool
+	Detail  string
+}
+
+// String renders the event as an audit-log line.
+func (e AuditEvent) String() string {
+	status := "OK"
+	if !e.OK {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%v push %q v%d -> %v: %s %s", e.At, e.Device, e.Target, e.Version, status, e.Detail)
+}
+
+// assignment is a device's policy state on the server.
+type assignment struct {
+	text    string
+	version uint32
+	groups  []groupDef
+}
+
+// Server is the central policy server: it owns named device policies and
+// pushes signed rule-sets to firewall agents.
+type Server struct {
+	host *stack.Host
+	psk  []byte
+
+	assignments map[string]*assignment
+	audit       []AuditEvent
+}
+
+// NewServer creates a policy server on the given host.
+func NewServer(h *stack.Host, psk []byte) *Server {
+	return &Server{host: h, psk: psk, assignments: make(map[string]*assignment)}
+}
+
+// SetPolicy validates and stores the policy text for a device, bumping
+// its version.
+func (s *Server) SetPolicy(device, text string) (version uint32, err error) {
+	if _, err := Parse(text); err != nil {
+		return 0, err
+	}
+	a := s.assignments[device]
+	if a == nil {
+		a = &assignment{}
+		s.assignments[device] = a
+	}
+	a.text = text
+	a.version++
+	return a.version, nil
+}
+
+// SetVPG provisions (or, for an existing name, replaces) a VPG on a
+// device's next push: the group key and member set ride the same
+// authenticated channel as the rule-set, as in the ADF architecture.
+// The device must already have a policy stored, and it bumps the
+// version.
+func (s *Server) SetVPG(device, group string, key vpg.Key, members []packet.IP) (version uint32, err error) {
+	a := s.assignments[device]
+	if a == nil {
+		return 0, fmt.Errorf("policy: no policy stored for device %q", device)
+	}
+	if group == "" || len(group) > 64 {
+		return 0, fmt.Errorf("policy: invalid group name %q", group)
+	}
+	if len(members) == 0 {
+		return 0, fmt.Errorf("policy: group %q has no members", group)
+	}
+	def := groupDef{Name: group, Key: key, Members: append([]packet.IP(nil), members...)}
+	replaced := false
+	for i := range a.groups {
+		if a.groups[i].Name == group {
+			a.groups[i] = def
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		a.groups = append(a.groups, def)
+	}
+	a.version++
+	return a.version, nil
+}
+
+// Policy returns the stored policy text and version for a device.
+func (s *Server) Policy(device string) (text string, version uint32, ok bool) {
+	a := s.assignments[device]
+	if a == nil {
+		return "", 0, false
+	}
+	return a.text, a.version, true
+}
+
+// Audit returns a copy of the audit log.
+func (s *Server) Audit() []AuditEvent {
+	return append([]AuditEvent(nil), s.audit...)
+}
+
+// Push distributes the device's current policy to the agent at target.
+// done (optional) is invoked with the outcome once the agent replies, the
+// connection fails, or the timeout (5 s of virtual time) expires.
+func (s *Server) Push(device string, target packet.IP, done func(error)) error {
+	a := s.assignments[device]
+	if a == nil {
+		return fmt.Errorf("policy: no policy stored for device %q", device)
+	}
+	msg := &pushMessage{Version: a.version, Name: device, Text: a.text, Groups: a.groups}
+	wire, err := msg.encode(s.psk)
+	if err != nil {
+		return err
+	}
+
+	conn, err := s.host.DialTCP(target, AgentPort)
+	if err != nil {
+		return err
+	}
+
+	finished := false
+	finish := func(outcome error) {
+		if finished {
+			return
+		}
+		finished = true
+		detail := "installed"
+		if outcome != nil {
+			detail = outcome.Error()
+		}
+		s.audit = append(s.audit, AuditEvent{
+			At:      s.host.Kernel().Now(),
+			Device:  device,
+			Target:  target,
+			Version: a.version,
+			OK:      outcome == nil,
+			Detail:  detail,
+		})
+		if done != nil {
+			done(outcome)
+		}
+	}
+
+	var resp []byte
+	conn.OnConnect = func() {
+		if err := conn.Write(wire); err != nil {
+			finish(fmt.Errorf("policy: send: %w", err))
+			conn.Abort()
+		}
+	}
+	conn.OnData = func(p []byte) {
+		resp = append(resp, p...)
+		version, errMsg, ok := parseResponse(resp)
+		if !ok {
+			return
+		}
+		switch {
+		case errMsg != "":
+			finish(fmt.Errorf("policy: agent: %s", errMsg))
+		case version != a.version:
+			finish(fmt.Errorf("policy: agent installed v%d, want v%d", version, a.version))
+		default:
+			finish(nil)
+		}
+		conn.Close()
+	}
+	conn.OnReset = func() { finish(fmt.Errorf("policy: connection reset")) }
+	conn.OnPeerClose = func() {
+		if !finished {
+			finish(fmt.Errorf("policy: agent closed without replying"))
+		}
+	}
+	s.host.Kernel().After(5*time.Second, func() {
+		if !finished {
+			finish(fmt.Errorf("policy: push timed out"))
+			conn.Abort()
+		}
+	})
+	return nil
+}
+
+// PushAll distributes each device's current policy to its address and
+// invokes done once with the per-device outcomes after every push
+// settles (success, failure, or timeout).
+func (s *Server) PushAll(targets map[string]packet.IP, done func(map[string]error)) {
+	outcomes := make(map[string]error, len(targets))
+	remaining := len(targets)
+	finishOne := func(device string, err error) {
+		outcomes[device] = err
+		remaining--
+		if remaining == 0 && done != nil {
+			done(outcomes)
+		}
+	}
+	if remaining == 0 {
+		if done != nil {
+			done(outcomes)
+		}
+		return
+	}
+	for device, ip := range targets {
+		device := device
+		if err := s.Push(device, ip, func(err error) { finishOne(device, err) }); err != nil {
+			finishOne(device, err)
+		}
+	}
+}

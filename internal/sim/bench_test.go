@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	k := NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		k.Step()
+	}
+}
+
+func BenchmarkEventChurn(b *testing.B) {
+	// A self-rescheduling event chain, the simulator's hot pattern.
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(time.Microsecond, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

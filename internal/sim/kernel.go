@@ -1,0 +1,200 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All barbican experiments run in virtual time: events are executed in
+// timestamp order by a single goroutine, so simulations are reproducible
+// bit-for-bit regardless of host load. Ties are broken by scheduling
+// order, which makes the execution order a pure function of the inputs.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrHalted is returned by Run variants when the kernel was stopped with
+// Halt before the run condition was reached.
+var ErrHalted = errors.New("sim: kernel halted")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so that callers may cancel it before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	fired  bool
+	kernel *Kernel
+}
+
+// At reports the virtual time at which the event is (or was) scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel removes the event from the queue. Canceling an event that already
+// fired or was already canceled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.fired || e.index < 0 {
+		return false
+	}
+	heap.Remove(&e.kernel.queue, e.index)
+	e.index = -1
+	e.fired = true
+	return true
+}
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && !e.fired && e.index >= 0 }
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+//
+// The zero value is not usable; construct kernels with NewKernel.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	halted bool
+
+	executed uint64
+}
+
+// Option configures a Kernel.
+type Option interface{ apply(*Kernel) }
+
+type seedOption int64
+
+func (s seedOption) apply(k *Kernel) { k.rng = rand.New(rand.NewSource(int64(s))) }
+
+// WithSeed sets the seed of the kernel's deterministic random source.
+// The default seed is 1.
+func WithSeed(seed int64) Option { return seedOption(seed) }
+
+// NewKernel returns a kernel whose clock starts at zero.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{rng: rand.New(rand.NewSource(1))}
+	for _, o := range opts {
+		o.apply(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from event callbacks (the simulation is single-threaded).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Len returns the number of pending events.
+func (k *Kernel) Len() int { return k.queue.Len() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event fires "now", after already-queued
+// events for the current instant).
+func (k *Kernel) At(t time.Duration, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, kernel: k}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Halt stops any in-progress Run/RunUntil/RunFor after the current event
+// finishes executing.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	ev, _ := heap.Pop(&k.queue).(*Event)
+	ev.index = -1
+	ev.fired = true
+	k.now = ev.at
+	k.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the kernel is halted.
+// It returns ErrHalted if Halt was called.
+func (k *Kernel) Run() error {
+	k.halted = false
+	for !k.halted {
+		if !k.Step() {
+			return nil
+		}
+	}
+	return ErrHalted
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. It returns ErrHalted if Halt was called before t was reached.
+func (k *Kernel) RunUntil(t time.Duration) error {
+	k.halted = false
+	for !k.halted {
+		if k.queue.Len() == 0 || k.queue[0].at > t {
+			if t > k.now {
+				k.now = t
+			}
+			return nil
+		}
+		k.Step()
+	}
+	return ErrHalted
+}
+
+// RunFor executes events for a span of d virtual time from the current clock.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now + d)
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

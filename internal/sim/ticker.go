@@ -1,0 +1,48 @@
+package sim
+
+import "time"
+
+// Ticker fires a callback at a fixed virtual-time interval until stopped.
+type Ticker struct {
+	kernel   *Kernel
+	interval time.Duration
+	fn       func()
+	next     *Event
+	stopped  bool
+	fires    uint64
+}
+
+// NewTicker schedules fn to run every interval, starting one interval from
+// now. interval must be positive.
+func (k *Kernel) NewTicker(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{kernel: k, interval: interval, fn: fn}
+	if interval <= 0 {
+		t.stopped = true
+		return t
+	}
+	t.next = k.After(interval, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fires++
+	t.fn()
+	if !t.stopped {
+		t.next = t.kernel.After(t.interval, t.tick)
+	}
+}
+
+// Stop cancels future ticks. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.next.Cancel()
+}
+
+// Fires returns the number of times the ticker has fired.
+func (t *Ticker) Fires() uint64 { return t.fires }

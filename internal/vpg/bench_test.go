@@ -1,0 +1,60 @@
+package vpg
+
+import (
+	"fmt"
+	"testing"
+
+	"barbican/internal/packet"
+)
+
+func benchGroup(b *testing.B) *Group {
+	b.Helper()
+	g, err := NewGroup("bench", DeriveKey("bench"), alice, bob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSeal(b *testing.B) {
+	g := benchGroup(b)
+	for _, size := range []int{64, 512, 1460} {
+		payload := make([]byte, size)
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Seal(alice, bob, packet.ProtoTCP, payload, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	g := benchGroup(b)
+	for _, size := range []int{64, 1460} {
+		env, err := g.Seal(alice, bob, packet.ProtoTCP, make([]byte, size), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := g.Open(alice, bob, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplayWindow(b *testing.B) {
+	var w ReplayWindow
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Check(uint64(i))
+	}
+}

@@ -1,0 +1,273 @@
+// Package vpg implements virtual private groups, the ADF's encrypted
+// host-to-host channels (Carney et al., "Virtual Private Groups").
+//
+// A group is a set of member hosts sharing a group key. Traffic between
+// members is sealed into envelopes providing confidentiality (AES-256-CTR),
+// integrity, and sender authentication (HMAC-SHA-256 bound to the sender
+// and destination addresses, plus group membership checks). Receivers keep
+// a per-sender anti-replay window.
+//
+// The real ADF's cipher suite is proprietary; this package substitutes
+// modern stdlib primitives with the same security properties. The *cost*
+// of the card's crypto is modeled separately by internal/nic.
+package vpg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"barbican/internal/packet"
+)
+
+// Key is a 256-bit group key.
+type Key [32]byte
+
+// DeriveKey derives a group key from a passphrase. Real deployments
+// provision keys from the policy server; experiments and tests derive
+// them from names.
+func DeriveKey(passphrase string) Key {
+	return sha256.Sum256([]byte("barbican-vpg-key:" + passphrase))
+}
+
+// Envelope framing constants.
+const (
+	envVersion  = 1
+	tagLen      = 16
+	maxNameLen  = 64
+	fixedHdrLen = 11 // version(1) + origProto(1) + nameLen(1) + seq(8)
+)
+
+// Overhead returns the number of bytes sealing adds to a transport
+// segment for a group with the given name length.
+func Overhead(nameLen int) int { return fixedHdrLen + nameLen + tagLen }
+
+// Errors reported by Open.
+var (
+	ErrNotMember   = errors.New("vpg: sender is not a group member")
+	ErrBadEnvelope = errors.New("vpg: malformed envelope")
+	ErrWrongGroup  = errors.New("vpg: envelope for a different group")
+	ErrAuth        = errors.New("vpg: authentication failed")
+	ErrReplay      = errors.New("vpg: replayed sequence number")
+)
+
+// Group is a named virtual private group with a shared key and a member
+// set.
+type Group struct {
+	name    string
+	encKey  [32]byte
+	macKey  [32]byte
+	members map[packet.IP]struct{}
+}
+
+// NewGroup creates a group. Member addresses may be added later with
+// AddMember.
+func NewGroup(name string, key Key, members ...packet.IP) (*Group, error) {
+	if name == "" || len(name) > maxNameLen {
+		return nil, fmt.Errorf("vpg: invalid group name %q", name)
+	}
+	g := &Group{
+		name:    name,
+		encKey:  deriveSubkey(key, "enc"),
+		macKey:  deriveSubkey(key, "mac"),
+		members: make(map[packet.IP]struct{}, len(members)),
+	}
+	for _, m := range members {
+		g.members[m] = struct{}{}
+	}
+	return g, nil
+}
+
+func deriveSubkey(key Key, label string) [32]byte {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write([]byte(label))
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// AddMember adds a host address to the group.
+func (g *Group) AddMember(ip packet.IP) { g.members[ip] = struct{}{} }
+
+// RemoveMember removes a host address from the group.
+func (g *Group) RemoveMember(ip packet.IP) { delete(g.members, ip) }
+
+// IsMember reports whether ip belongs to the group.
+func (g *Group) IsMember(ip packet.IP) bool {
+	_, ok := g.members[ip]
+	return ok
+}
+
+// Members returns the member addresses in sorted order.
+func (g *Group) Members() []packet.IP {
+	out := make([]packet.IP, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Uint32() < out[j].Uint32() })
+	return out
+}
+
+// Seal encrypts and authenticates a transport segment from sender to dst.
+// origProto records the encapsulated transport protocol so the receiver
+// can restore the original datagram. seq must be strictly increasing per
+// sender (use a Sealer).
+func (g *Group) Seal(sender, dst packet.IP, origProto packet.Protocol, transport []byte, seq uint64) ([]byte, error) {
+	if !g.IsMember(sender) {
+		return nil, ErrNotMember
+	}
+	if !g.IsMember(dst) {
+		return nil, fmt.Errorf("%w (destination %v)", ErrNotMember, dst)
+	}
+	n := len(g.name)
+	env := make([]byte, fixedHdrLen+n+len(transport)+tagLen)
+	env[0] = envVersion
+	env[1] = byte(origProto)
+	env[2] = byte(n)
+	copy(env[3:], g.name)
+	binary.BigEndian.PutUint64(env[3+n:], seq)
+	ct := env[fixedHdrLen+n : fixedHdrLen+n+len(transport)]
+	g.stream(sender, seq).XORKeyStream(ct, transport)
+	tag := g.tag(sender, dst, env[:len(env)-tagLen])
+	copy(env[len(env)-tagLen:], tag)
+	return env, nil
+}
+
+// Open verifies and decrypts an envelope received from sender addressed
+// to dst, returning the original protocol, transport segment, and
+// sequence number. Replay checking is the caller's responsibility (see
+// ReplayWindow); Open itself is stateless.
+func (g *Group) Open(sender, dst packet.IP, env []byte) (packet.Protocol, []byte, uint64, error) {
+	if len(env) < fixedHdrLen+tagLen {
+		return 0, nil, 0, ErrBadEnvelope
+	}
+	if env[0] != envVersion {
+		return 0, nil, 0, fmt.Errorf("%w: version %d", ErrBadEnvelope, env[0])
+	}
+	n := int(env[2])
+	if len(env) < fixedHdrLen+n+tagLen {
+		return 0, nil, 0, ErrBadEnvelope
+	}
+	if string(env[3:3+n]) != g.name {
+		return 0, nil, 0, ErrWrongGroup
+	}
+	if !g.IsMember(sender) {
+		return 0, nil, 0, ErrNotMember
+	}
+	body := env[:len(env)-tagLen]
+	want := g.tag(sender, dst, body)
+	if !hmac.Equal(want, env[len(env)-tagLen:]) {
+		return 0, nil, 0, ErrAuth
+	}
+	seq := binary.BigEndian.Uint64(env[3+n:])
+	ct := env[fixedHdrLen+n : len(env)-tagLen]
+	pt := make([]byte, len(ct))
+	g.stream(sender, seq).XORKeyStream(pt, ct)
+	return packet.Protocol(env[1]), pt, seq, nil
+}
+
+// stream builds the CTR keystream bound to (sender, seq).
+func (g *Group) stream(sender packet.IP, seq uint64) cipher.Stream {
+	block, err := aes.NewCipher(g.encKey[:])
+	if err != nil {
+		// AES-256 with a fixed 32-byte key cannot fail; treat as corruption.
+		panic("vpg: aes.NewCipher: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	copy(iv[0:4], sender[:])
+	binary.BigEndian.PutUint64(iv[4:12], seq)
+	return cipher.NewCTR(block, iv[:])
+}
+
+// tag computes the truncated HMAC binding sender, destination, and body.
+func (g *Group) tag(sender, dst packet.IP, body []byte) []byte {
+	mac := hmac.New(sha256.New, g.macKey[:])
+	mac.Write(sender[:])
+	mac.Write(dst[:])
+	mac.Write(body)
+	return mac.Sum(nil)[:tagLen]
+}
+
+// PeekGroupName extracts the group name from an envelope without
+// verifying it, so a receiver holding several groups can route the
+// envelope to the right one.
+func PeekGroupName(env []byte) (string, error) {
+	if len(env) < fixedHdrLen || env[0] != envVersion {
+		return "", ErrBadEnvelope
+	}
+	n := int(env[2])
+	if len(env) < fixedHdrLen+n {
+		return "", ErrBadEnvelope
+	}
+	return string(env[3 : 3+n]), nil
+}
+
+// Sealer seals traffic from one member with automatically increasing
+// sequence numbers.
+type Sealer struct {
+	group  *Group
+	sender packet.IP
+	seq    uint64
+}
+
+// NewSealer creates a sealer for the given member address.
+func NewSealer(g *Group, sender packet.IP) (*Sealer, error) {
+	if !g.IsMember(sender) {
+		return nil, ErrNotMember
+	}
+	return &Sealer{group: g, sender: sender}, nil
+}
+
+// Seal seals one transport segment toward dst.
+func (s *Sealer) Seal(dst packet.IP, origProto packet.Protocol, transport []byte) ([]byte, error) {
+	s.seq++
+	return s.group.Seal(s.sender, dst, origProto, transport, s.seq)
+}
+
+// ReplayWindow is a 64-entry sliding anti-replay window, as in IPsec.
+// The zero value is ready to use and accepts any first sequence number.
+type ReplayWindow struct {
+	highest uint64
+	bitmap  uint64
+	primed  bool
+}
+
+// Check validates seq and marks it seen. It returns false for replays and
+// for sequence numbers older than the window.
+func (w *ReplayWindow) Check(seq uint64) bool {
+	if !w.primed {
+		w.primed = true
+		w.highest = seq
+		w.bitmap = 1
+		return true
+	}
+	switch {
+	case seq > w.highest:
+		shift := seq - w.highest
+		if shift >= 64 {
+			w.bitmap = 0
+		} else {
+			w.bitmap <<= shift
+		}
+		w.bitmap |= 1
+		w.highest = seq
+		return true
+	case w.highest-seq >= 64:
+		return false // too old
+	default:
+		bit := uint64(1) << (w.highest - seq)
+		if w.bitmap&bit != 0 {
+			return false // replay
+		}
+		w.bitmap |= bit
+		return true
+	}
+}
