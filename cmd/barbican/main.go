@@ -8,9 +8,12 @@
 //
 // Flags:
 //
-//	-quick          shrink sweeps to a few representative points
-//	-duration D     per-measurement window (default: tool defaults)
-//	-seed N         simulation seed (default 1)
+//	-quick           shrink sweeps to a few representative points
+//	-duration D      per-measurement window (default: tool defaults)
+//	-seed N          simulation seed (default 1)
+//	-metrics-out DIR write telemetry artifacts (Prometheus text, JSON,
+//	                 CSV) for every run, plus figure/table data exports
+//	-sample-every D  flight-recorder tick in virtual time (default 50ms)
 package main
 
 import (
@@ -34,8 +37,10 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink sweeps to representative points")
 	duration := fs.Duration("duration", 0, "per-measurement window (0 = tool default)")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory")
+	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|ext1|ext2|ext3|rfc2544|latency|report|all")
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|report|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,23 +50,27 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name")
 	}
-	cfg := experiment.Config{Quick: *quick, Duration: *duration, Seed: *seed}
+	cfg := experiment.Config{
+		Quick: *quick, Duration: *duration, Seed: *seed,
+		MetricsDir: *metricsOut, SampleEvery: *sampleEvery,
+	}
 
 	type runner struct {
 		name string
 		fn   func(experiment.Config) (string, error)
 	}
 	runners := []runner{
-		{name: "fig2", fn: renderFigure(experiment.Fig2)},
-		{name: "fig3a", fn: renderFigure(experiment.Fig3a)},
-		{name: "fig3b", fn: renderFigure(experiment.Fig3b)},
-		{name: "table1", fn: renderTable(experiment.Table1)},
+		{name: "fig2", fn: renderFigure("fig2", experiment.Fig2)},
+		{name: "fig3a", fn: renderFigure("fig3a", experiment.Fig3a)},
+		{name: "fig3b", fn: renderFigure("fig3b", experiment.Fig3b)},
+		{name: "table1", fn: renderTable("table1", experiment.Table1)},
 		{name: "ablations", fn: renderAblations},
-		{name: "ext1", fn: renderTable(experiment.ExtensionNextGen)},
-		{name: "ext2", fn: renderTable(experiment.ExtensionHTTPUnderFlood)},
-		{name: "ext3", fn: renderTable(experiment.ExtensionFragmentEvasion)},
-		{name: "rfc2544", fn: renderTable(experiment.AppendixRFC2544)},
-		{name: "latency", fn: renderTable(experiment.AppendixLatency)},
+		{name: "timeline", fn: renderFigure("timeline", experiment.FloodTimeline)},
+		{name: "ext1", fn: renderTable("ext1", experiment.ExtensionNextGen)},
+		{name: "ext2", fn: renderTable("ext2", experiment.ExtensionHTTPUnderFlood)},
+		{name: "ext3", fn: renderTable("ext3", experiment.ExtensionFragmentEvasion)},
+		{name: "rfc2544", fn: renderTable("rfc2544", experiment.AppendixRFC2544)},
+		{name: "latency", fn: renderTable("latency", experiment.AppendixLatency)},
 		{name: "report", fn: experiment.Report},
 	}
 
@@ -87,21 +96,31 @@ func run(args []string) error {
 	return nil
 }
 
-func renderFigure(fn func(experiment.Config) (*experiment.Figure, error)) func(experiment.Config) (string, error) {
+func renderFigure(name string, fn func(experiment.Config) (*experiment.Figure, error)) func(experiment.Config) (string, error) {
 	return func(cfg experiment.Config) (string, error) {
 		fig, err := fn(cfg)
 		if err != nil {
 			return "", err
 		}
+		if cfg.MetricsDir != "" {
+			if err := experiment.WriteFigureArtifacts(cfg.MetricsDir, name, fig); err != nil {
+				return "", err
+			}
+		}
 		return fig.Render(), nil
 	}
 }
 
-func renderTable(fn func(experiment.Config) (*experiment.Table, error)) func(experiment.Config) (string, error) {
+func renderTable(name string, fn func(experiment.Config) (*experiment.Table, error)) func(experiment.Config) (string, error) {
 	return func(cfg experiment.Config) (string, error) {
 		t, err := fn(cfg)
 		if err != nil {
 			return "", err
+		}
+		if cfg.MetricsDir != "" {
+			if err := experiment.WriteTableArtifacts(cfg.MetricsDir, name, t); err != nil {
+				return "", err
+			}
 		}
 		return t.Render(), nil
 	}

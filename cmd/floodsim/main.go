@@ -6,6 +6,11 @@
 //
 //	floodsim -device efw -depth 64 -rate 8000
 //	floodsim -device adf -depth 64 -deny -search
+//	floodsim -device adf -rate 12500 -metrics-out /tmp/m
+//
+// With -metrics-out the run is recorded by the obs flight recorder and
+// written in the same artifact formats as cmd/barbican: Prometheus
+// text, JSON, and CSV timelines plus a final scrape-style snapshot.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"barbican/internal/core"
+	"barbican/internal/obs"
 )
 
 func main() {
@@ -53,6 +59,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 2*time.Second, "measurement window")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
 	pcapPath := fs.String("pcap", "", "write the target's wire traffic to this pcap file (single runs only)")
+	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory (single runs only)")
+	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,9 +98,26 @@ func run(args []string) error {
 	}
 
 	var p core.BandwidthPoint
-	if *pcapPath != "" {
+	switch {
+	case *metricsOut != "" && *pcapPath != "":
+		return fmt.Errorf("-metrics-out and -pcap cannot be combined; run twice")
+	case *metricsOut != "":
+		var inst *core.Instrumentation
+		p, inst, err = core.RunBandwidthInstrumented(s, *sampleEvery)
+		if err != nil {
+			return err
+		}
+		base := fmt.Sprintf("floodsim_%s_depth-%d_rate-%.0f_%s", obs.SanitizeName(device.String()), *depth, *rate, mode(!*deny))
+		paths, werr := inst.WriteArtifacts(*metricsOut, base)
+		if werr != nil {
+			return werr
+		}
+		for _, path := range paths {
+			fmt.Println("wrote", path)
+		}
+	case *pcapPath != "":
 		p, err = runWithCapture(s, *pcapPath)
-	} else {
+	default:
 		p, err = core.RunBandwidth(s)
 	}
 	if err != nil {

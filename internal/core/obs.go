@@ -1,0 +1,170 @@
+package core
+
+import (
+	"time"
+
+	"barbican/internal/measure"
+	"barbican/internal/obs"
+	"barbican/internal/stack"
+)
+
+// Instrumentation bundles one run's metrics registry and flight
+// recorder. Construct it with Instrument; call Finish when the run's
+// measurement window closes.
+type Instrumentation struct {
+	Registry *obs.Registry
+	Recorder *obs.Recorder
+}
+
+// Finish takes a final sample at the current virtual time and stops the
+// recorder.
+func (in *Instrumentation) Finish() {
+	if in == nil {
+		return
+	}
+	in.Recorder.Sample()
+	in.Recorder.Stop()
+}
+
+// WriteArtifacts writes the run's telemetry to dir as <base>.prom,
+// <base>.csv, <base>.json, and <base>.snapshot.prom.
+func (in *Instrumentation) WriteArtifacts(dir, base string) ([]string, error) {
+	return obs.WriteRunArtifacts(dir, base, in.Registry, in.Recorder)
+}
+
+// Instrument attaches a registry and a started flight recorder to the
+// testbed: kernel, switch, and every host's stack and card publish
+// their counters. sampleEvery <= 0 uses obs.DefaultSampleEvery.
+func Instrument(tb *Testbed, sampleEvery time.Duration) *Instrumentation {
+	reg := obs.NewRegistry()
+	obs.PublishKernel(reg, tb.Kernel)
+	tb.Switch.PublishMetrics(reg)
+	for _, hn := range []struct {
+		h    *stack.Host
+		name string
+	}{
+		{tb.Client, "client"},
+		{tb.Target, "target"},
+		{tb.Attacker, "attacker"},
+		{tb.PolicyServer, "policy-server"},
+	} {
+		label := obs.L("host", hn.name)
+		hn.h.PublishMetrics(reg, label)
+		hn.h.NIC().PublishMetrics(reg, label)
+		hn.h.NIC().Endpoint().PublishMetrics(reg, label)
+	}
+	rec := obs.NewRecorder(tb.Kernel, reg, sampleEvery)
+	rec.Start()
+	return &Instrumentation{Registry: reg, Recorder: rec}
+}
+
+// RunBandwidthInstrumented is RunBandwidth with a full telemetry
+// harness: every component publishes into a registry, a flight recorder
+// samples it every sampleEvery of virtual time, and the iperf sink's
+// byte counter joins the registry so the recorded timeline carries an
+// instantaneous-goodput series.
+func RunBandwidthInstrumented(s Scenario, sampleEvery time.Duration) (BandwidthPoint, *Instrumentation, error) {
+	tb, err := buildTestbed(s)
+	if err != nil {
+		return BandwidthPoint{}, nil, err
+	}
+	inst := Instrument(tb, sampleEvery)
+	flood, err := startFlood(tb, s)
+	if err != nil {
+		return BandwidthPoint{}, nil, err
+	}
+	if flood != nil {
+		flood.PublishMetrics(inst.Registry, obs.L("host", "attacker"))
+	}
+
+	cfg := measure.IperfConfig{Duration: s.Duration, Metrics: inst.Registry}
+	var res measure.IperfResult
+	if s.UseUDP {
+		res, err = measure.RunUDPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	} else {
+		res, err = measure.RunTCPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	}
+	if err != nil {
+		return BandwidthPoint{}, nil, err
+	}
+	p := BandwidthPoint{
+		Scenario:     s,
+		Iperf:        res,
+		TargetLocked: tb.Target.NIC().Locked(),
+		TargetNIC:    tb.Target.NIC().Stats(),
+	}
+	if flood != nil {
+		flood.Stop()
+		p.FloodSent = flood.Sent()
+	}
+	inst.Finish()
+	return p, inst, nil
+}
+
+// TimelineOptions shapes a RunFloodTimeline run.
+type TimelineOptions struct {
+	// SampleEvery is the flight-recorder tick; <= 0 uses the default.
+	SampleEvery time.Duration
+	// FloodStart is when the flood switches on, relative to measurement
+	// start.
+	FloodStart time.Duration
+	// FloodStop is when the flood switches off; zero floods to the end
+	// of the window.
+	FloodStop time.Duration
+}
+
+// RunFloodTimeline measures bandwidth with the scenario's flood gated
+// to a window inside the measurement, recording the whole run. The
+// resulting goodput series shows the paper's Figure 3(a) finding as a
+// time series — nominal bandwidth, collapse when the flood starts, and
+// (for rates below the lockup regime) recovery when it stops — rather
+// than a single endpoint scalar.
+func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrumentation, error) {
+	tb, err := buildTestbed(s)
+	if err != nil {
+		return BandwidthPoint{}, nil, err
+	}
+	inst := Instrument(tb, opt.SampleEvery)
+
+	var flood *measure.Flooder
+	if s.FloodRatePPS > 0 {
+		cfg := measure.FloodConfig{
+			Kind:    s.FloodKind,
+			RatePPS: s.FloodRatePPS,
+			DstPort: FloodPort,
+		}
+		if s.FloodFragmented {
+			cfg.Fragment = true
+			cfg.PayloadBytes = 24
+		}
+		flood = measure.NewFlooder(tb.Attacker, tb.Target.IP(), cfg)
+		flood.PublishMetrics(inst.Registry, obs.L("host", "attacker"))
+		tb.Kernel.After(opt.FloodStart, flood.Start)
+		if opt.FloodStop > opt.FloodStart {
+			tb.Kernel.After(opt.FloodStop, flood.Stop)
+		}
+	}
+
+	cfg := measure.IperfConfig{Duration: s.Duration, Metrics: inst.Registry}
+	var res measure.IperfResult
+	if s.UseUDP {
+		res, err = measure.RunUDPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	} else {
+		res, err = measure.RunTCPIperf(tb.Kernel, tb.Client, tb.Target, cfg)
+	}
+	if err != nil {
+		return BandwidthPoint{}, nil, err
+	}
+	p := BandwidthPoint{
+		Scenario:     s,
+		Iperf:        res,
+		TargetLocked: tb.Target.NIC().Locked(),
+		TargetNIC:    tb.Target.NIC().Stats(),
+	}
+	if flood != nil {
+		flood.Stop()
+		p.FloodSent = flood.Sent()
+	}
+	inst.Finish()
+	return p, inst, nil
+}

@@ -7,7 +7,9 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -59,7 +61,7 @@ func (f *Figure) Render() string {
 	}
 	b.WriteByte('\n')
 	for _, x := range xs {
-		fmt.Fprintf(&b, "%12.0f", x)
+		fmt.Fprintf(&b, "%12s", formatX(x))
 		for _, s := range f.Series {
 			cell := ""
 			for _, p := range s.Points {
@@ -131,6 +133,13 @@ type Config struct {
 	Quick bool
 	// Seed seeds every simulation; zero means 1.
 	Seed int64
+	// MetricsDir, when non-empty, attaches a flight recorder to each
+	// simulation run and writes telemetry artifacts (Prometheus text,
+	// JSON, CSV) plus figure/table data exports under this directory.
+	MetricsDir string
+	// SampleEvery is the flight-recorder tick in virtual time; zero
+	// uses obs.DefaultSampleEvery.
+	SampleEvery time.Duration
 }
 
 func (c Config) bandwidthDuration() time.Duration {
@@ -141,6 +150,15 @@ func (c Config) bandwidthDuration() time.Duration {
 		return 1 * time.Second
 	}
 	return 5 * time.Second
+}
+
+// formatX renders an axis value: integers without decimals (rule
+// depths, flood rates), fractional values (timeline seconds) compactly.
+func formatX(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
 func (c Config) httpDuration() time.Duration {

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"barbican/internal/core"
+	"barbican/internal/obs"
+)
+
+// runObservedBandwidth runs a bandwidth scenario, attaching a flight
+// recorder and writing per-run telemetry artifacts when cfg.MetricsDir
+// is set; otherwise it is plain core.RunBandwidth. exp and label name
+// the artifact files: <MetricsDir>/<exp>/<label>.{prom,csv,json}.
+func runObservedBandwidth(cfg Config, exp, label string, s core.Scenario) (core.BandwidthPoint, error) {
+	if cfg.MetricsDir == "" {
+		return core.RunBandwidth(s)
+	}
+	p, inst, err := core.RunBandwidthInstrumented(s, cfg.SampleEvery)
+	if err != nil {
+		return p, err
+	}
+	if _, err := inst.WriteArtifacts(filepath.Join(cfg.MetricsDir, exp), label); err != nil {
+		return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+	}
+	return p, nil
+}
+
+// WriteCSV writes the figure as long-form CSV: series,x,y,note.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel, "note"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			err := cw.Write([]string{s.Label, fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y), p.Note})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the figure as a machine-readable JSON document.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteCSV writes the table as CSV, header row first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the table as a machine-readable JSON document.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// WriteFigureArtifacts writes <dir>/<name>.figure.{csv,json}.
+func WriteFigureArtifacts(dir, name string, f *Figure) error {
+	return writeArtifactPair(dir, name+".figure", f.WriteCSV, f.WriteJSON)
+}
+
+// WriteTableArtifacts writes <dir>/<name>.table.{csv,json}.
+func WriteTableArtifacts(dir, name string, t *Table) error {
+	return writeArtifactPair(dir, name+".table", t.WriteCSV, t.WriteJSON)
+}
+
+func writeArtifactPair(dir, base string, csvFn, jsonFn func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: artifacts dir: %w", err)
+	}
+	base = obs.SanitizeName(base)
+	for _, out := range []struct {
+		ext string
+		fn  func(io.Writer) error
+	}{{".csv", csvFn}, {".json", jsonFn}} {
+		p := filepath.Join(dir, base+out.ext)
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := out.fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiment: write %s: %w", p, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiment: close %s: %w", p, err)
+		}
+	}
+	return nil
+}

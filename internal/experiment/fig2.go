@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"barbican/internal/core"
 )
 
@@ -28,7 +30,8 @@ func Fig2(cfg Config) (*Figure, error) {
 	for _, dev := range []core.Device{core.DeviceEFW, core.DeviceADF, core.DeviceIPTables} {
 		s := Series{Label: dev.String()}
 		for _, d := range depths {
-			p, err := core.RunBandwidth(core.Scenario{
+			label := fmt.Sprintf("%s_depth-%d", dev, d)
+			p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
 				Device: dev, Depth: d,
 				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
 			})
@@ -42,7 +45,8 @@ func Fig2(cfg Config) (*Figure, error) {
 
 	vs := Series{Label: core.DeviceADFVPG.String()}
 	for _, d := range vpgDepths {
-		p, err := core.RunBandwidth(core.Scenario{
+		label := fmt.Sprintf("%s_depth-%d", core.DeviceADFVPG, d)
+		p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
 			Device: core.DeviceADFVPG, Depth: d,
 			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
 		})

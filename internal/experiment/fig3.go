@@ -35,7 +35,8 @@ func Fig3a(cfg Config) (*Figure, error) {
 		}
 		s := Series{Label: label}
 		for _, rate := range rates {
-			p, err := core.RunBandwidth(core.Scenario{
+			runLabel := fmt.Sprintf("%s_rate-%.0f", label, rate)
+			p, err := runObservedBandwidth(cfg, "fig3a", runLabel, core.Scenario{
 				Device: dev, Depth: depth,
 				FloodRatePPS: rate, FloodAllowed: true,
 				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,

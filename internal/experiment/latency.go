@@ -21,7 +21,7 @@ func AppendixLatency(cfg Config) (*Table, error) {
 	devices := []core.Device{core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF}
 
 	t := &Table{
-		Title:   "Appendix APX2: ICMP round-trip time (ms, mean±stddev) vs rule-set depth",
+		Title:   "Appendix APX2: ICMP round-trip time (ms, mean±stderr) vs rule-set depth",
 		Columns: []string{"Rules"},
 	}
 	for _, d := range devices {
@@ -49,7 +49,7 @@ func AppendixLatency(cfg Config) (*Table, error) {
 			if res.Received == 0 {
 				return nil, fmt.Errorf("latency %v depth %d: no echo replies", dev, depth)
 			}
-			row = append(row, fmt.Sprintf("%.3f±%.3f", res.RTTms.Mean(), res.RTTms.Stddev()))
+			row = append(row, fmt.Sprintf("%.3f±%.3f", res.RTTms.Mean(), res.RTTms.Stderr()))
 		}
 		t.Rows = append(t.Rows, row)
 	}

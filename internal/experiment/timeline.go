@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"barbican/internal/core"
+	"barbican/internal/obs"
+)
+
+// FloodTimelineRate is the flood rate of the timeline experiment — the
+// paper's maximum Figure 3(a) rate, at which every filtering card's
+// available bandwidth collapsed to zero.
+const FloodTimelineRate = 12500
+
+// FloodTimeline renders Figure 3(a)'s central finding as a time series
+// instead of a single endpoint scalar: available bandwidth is measured
+// continuously while a 12,500 packets/s flood switches on mid-run (and,
+// for the quick variant, off again before the end). The instantaneous
+// goodput and target-card drop-rate series come straight from the
+// flight recorder; with Config.MetricsDir set the full per-run
+// telemetry is written alongside.
+func FloodTimeline(cfg Config) (*Figure, error) {
+	duration := 4 * cfg.bandwidthDuration()
+	floodStart := duration / 4
+	floodStop := 3 * duration / 4
+
+	fig := &Figure{
+		Title: fmt.Sprintf("Flood timeline: goodput during a %d pps flood (on at %.1fs, off at %.1fs)",
+			FloodTimelineRate, floodStart.Seconds(), floodStop.Seconds()),
+		XLabel: "time (s)",
+		YLabel: "goodput (Mbps) / drops (kpps)",
+	}
+
+	devices := []core.Device{core.DeviceStandard, core.DeviceADF}
+	if !cfg.Quick {
+		devices = []core.Device{core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF}
+	}
+	for _, dev := range devices {
+		depth := 1
+		if dev == core.DeviceStandard {
+			depth = 0
+		}
+		s := core.Scenario{
+			Device: dev, Depth: depth,
+			FloodRatePPS: FloodTimelineRate, FloodAllowed: true,
+			Duration: duration, Seed: cfg.Seed,
+		}
+		_, inst, err := core.RunFloodTimeline(s, core.TimelineOptions{
+			SampleEvery: cfg.SampleEvery,
+			FloodStart:  floodStart,
+			FloodStop:   floodStop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("timeline %v: %w", dev, err)
+		}
+
+		goodput := Series{Label: dev.String() + " Mbps"}
+		if sd, ok := inst.Recorder.Series(`iperf_rx_bytes_total{proto="tcp"}`); ok {
+			for _, p := range sd.Rate() {
+				goodput.Points = append(goodput.Points, Point{
+					X: roundTo(p.T.Seconds(), 3),
+					Y: p.V * 8 / 1e6,
+				})
+			}
+		}
+		fig.Series = append(fig.Series, goodput)
+
+		drops := Series{Label: dev.String() + " drops"}
+		if sd, ok := inst.Recorder.Series(`nic_rx_overload_drops_total{host="target"}`); ok {
+			for _, p := range sd.Rate() {
+				drops.Points = append(drops.Points, Point{
+					X: roundTo(p.T.Seconds(), 3),
+					Y: p.V / 1000,
+				})
+			}
+		}
+		fig.Series = append(fig.Series, drops)
+
+		if cfg.MetricsDir != "" {
+			dir := filepath.Join(cfg.MetricsDir, "timeline")
+			if _, err := inst.WriteArtifacts(dir, obs.SanitizeName(dev.String())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fig, nil
+}
+
+// roundTo quantizes v to the given number of decimals so recorder tick
+// times from different runs land on shared x values in the figure.
+func roundTo(v float64, decimals int) float64 {
+	scale := 1.0
+	for i := 0; i < decimals; i++ {
+		scale *= 10
+	}
+	return float64(int64(v*scale+0.5)) / scale
+}

@@ -1,0 +1,33 @@
+package link
+
+import "barbican/internal/obs"
+
+// PublishMetrics registers the endpoint's transmit-direction counters
+// with the registry as collector closures; the frame path is untouched.
+func (e *Endpoint) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegisterFunc("link_tx_frames_total", "Frames accepted for transmission.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.SentFrames) }, labels...)
+	reg.MustRegisterFunc("link_tx_bytes_total", "Wire bytes transmitted, including preamble/IFG.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.SentBytes) }, labels...)
+	reg.MustRegisterFunc("link_tx_dropped_total", "Frames dropped on transmit queue overflow.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.DroppedFrames) }, labels...)
+	reg.MustRegisterFunc("link_tx_queue_depth", "Frames queued for transmission.",
+		obs.KindGauge, func() float64 { return float64(e.dir.queued) }, labels...)
+	reg.MustRegisterFunc("link_tx_busy_seconds", "Remaining serialization backlog, in time.",
+		obs.KindGauge, func() float64 { return e.Busy().Seconds() }, labels...)
+}
+
+// PublishMetrics registers the switch's forwarding counters with the
+// registry as collector closures.
+func (s *Switch) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegisterFunc("switch_forwarded_total", "Frames forwarded to a learned port.",
+		obs.KindCounter, func() float64 { return float64(s.stats.Forwarded) }, labels...)
+	reg.MustRegisterFunc("switch_flooded_total", "Frames flooded (unknown destination or broadcast).",
+		obs.KindCounter, func() float64 { return float64(s.stats.Flooded) }, labels...)
+	reg.MustRegisterFunc("switch_dropped_total", "Frames dropped at egress (link queue overflow).",
+		obs.KindCounter, func() float64 { return float64(s.stats.Dropped) }, labels...)
+	reg.MustRegisterFunc("switch_ports", "Attached ports.",
+		obs.KindGauge, func() float64 { return float64(len(s.ports)) }, labels...)
+	reg.MustRegisterFunc("switch_learned_macs", "MAC addresses in the forwarding table.",
+		obs.KindGauge, func() float64 { return float64(len(s.macs)) }, labels...)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"barbican/internal/apps"
+	"barbican/internal/obs"
 	"barbican/internal/sim"
 	"barbican/internal/stack"
 )
@@ -29,6 +30,10 @@ type IperfConfig struct {
 	// Drain is extra settle time after the send window before reading
 	// counters; zero defaults to 50 ms.
 	Drain time.Duration
+	// Metrics, when non-nil, publishes the measurement's live counters
+	// (bytes received, datagrams sent) so a flight recorder can turn the
+	// endpoint scalar into a time-resolved goodput series.
+	Metrics *obs.Registry
 }
 
 func (c IperfConfig) withDefaults() IperfConfig {
@@ -98,6 +103,20 @@ func RunUDPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (Ip
 	payload := make([]byte, cfg.PayloadBytes)
 	start := k.Now()
 	var sent uint64
+	if cfg.Metrics != nil {
+		cfg.Metrics.MustRegisterFunc("iperf_rx_bytes_total",
+			"Payload bytes received by the iperf sink; its per-second rate is instantaneous goodput.",
+			obs.KindCounter, func() float64 { _, b := sink.Received(); return float64(b) },
+			obs.L("proto", "udp"))
+		cfg.Metrics.MustRegisterFunc("iperf_rx_datagrams_total",
+			"Datagrams received by the iperf sink.",
+			obs.KindCounter, func() float64 { d, _ := sink.Received(); return float64(d) },
+			obs.L("proto", "udp"))
+		cfg.Metrics.MustRegisterFunc("iperf_tx_datagrams_total",
+			"Datagrams offered by the iperf sender.",
+			obs.KindCounter, func() float64 { return float64(sent) },
+			obs.L("proto", "udp"))
+	}
 	var send func()
 	send = func() {
 		if k.Now()-start >= cfg.Duration {
@@ -142,6 +161,12 @@ func RunTCPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (Ip
 		return IperfResult{}, err
 	}
 	defer listener.Close()
+	if cfg.Metrics != nil {
+		cfg.Metrics.MustRegisterFunc("iperf_rx_bytes_total",
+			"Payload bytes received by the iperf sink; its per-second rate is instantaneous goodput.",
+			obs.KindCounter, func() float64 { return float64(received) },
+			obs.L("proto", "tcp"))
+	}
 
 	conn, err := client.DialTCP(server.IP(), cfg.Port)
 	if err != nil {

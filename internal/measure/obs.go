@@ -1,0 +1,18 @@
+package measure
+
+import "barbican/internal/obs"
+
+// PublishMetrics registers the flood generator's injection counter with
+// the registry; its per-second rate is the offered flood rate actually
+// achieved.
+func (f *Flooder) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegisterFunc("flood_sent_total", "Flood packets injected by the attacker.",
+		obs.KindCounter, func() float64 { return float64(f.sent) }, labels...)
+	reg.MustRegisterFunc("flood_running", "Whether the flood is active (0/1).",
+		obs.KindGauge, func() float64 {
+			if f.running {
+				return 1
+			}
+			return 0
+		}, labels...)
+}

@@ -60,17 +60,35 @@ func (s *Sample) Mean() float64 {
 	return s.sum / float64(s.n)
 }
 
-// Stddev returns the population standard deviation (0 when empty).
-func (s *Sample) Stddev() float64 {
+// Variance returns the population variance (0 when empty).
+func (s *Sample) Variance() float64 {
 	if s.n == 0 {
 		return 0
 	}
 	m := s.Mean()
 	v := s.sumsq/float64(s.n) - m*m
 	if v < 0 {
+		// Guard against catastrophic cancellation on near-constant data.
 		v = 0
 	}
-	return math.Sqrt(v)
+	return v
+}
+
+// Stddev returns the population standard deviation (0 when empty).
+func (s *Sample) Stddev() float64 {
+	return math.Sqrt(s.Variance())
+}
+
+// Stderr returns the standard error of the mean, using Bessel's
+// correction (sample variance). A single observation carries no spread
+// information, so n < 2 returns 0.
+func (s *Sample) Stderr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	// sample stddev = population stddev * sqrt(n/(n-1)); divided by
+	// sqrt(n) this collapses to population stddev / sqrt(n-1).
+	return s.Stddev() / math.Sqrt(float64(s.n-1))
 }
 
 // Min returns the smallest observation (0 when empty).
@@ -79,7 +97,12 @@ func (s *Sample) Min() float64 { return s.min }
 // Max returns the largest observation (0 when empty).
 func (s *Sample) Max() float64 { return s.max }
 
-// String renders "mean±stddev (n)".
+// String renders "mean±stddev (n)". With fewer than two observations
+// there is no spread to report, so the ± term is omitted rather than
+// rendered as a misleading ±0.00.
 func (s *Sample) String() string {
+	if s.n < 2 {
+		return fmt.Sprintf("%.2f (n=%d)", s.Mean(), s.n)
+	}
 	return fmt.Sprintf("%.2f±%.2f (n=%d)", s.Mean(), s.Stddev(), s.n)
 }

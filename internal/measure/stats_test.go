@@ -1,0 +1,67 @@
+package measure_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"barbican/internal/measure"
+)
+
+func TestSampleVarianceAndStderr(t *testing.T) {
+	var s measure.Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Variance(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("variance = %v, want 4", got)
+	}
+	// stderr = population stddev / sqrt(n-1) = 2 / sqrt(7)
+	want := 2 / math.Sqrt(7)
+	if got := s.Stderr(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("stderr = %v, want %v", got, want)
+	}
+}
+
+func TestSampleStderrGuards(t *testing.T) {
+	var s measure.Sample
+	if s.Variance() != 0 || s.Stderr() != 0 {
+		t.Errorf("empty sample: variance=%v stderr=%v, want 0/0", s.Variance(), s.Stderr())
+	}
+	s.Add(3.5)
+	if s.Stderr() != 0 {
+		t.Errorf("n=1 stderr = %v, want 0", s.Stderr())
+	}
+}
+
+func TestSampleVarianceNeverNegative(t *testing.T) {
+	// Near-constant large values provoke catastrophic cancellation in
+	// sumsq/n - mean^2; the guard must clamp to zero, never go NaN.
+	var s measure.Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(1e9 + 0.0001)
+	}
+	if v := s.Variance(); v < 0 || math.IsNaN(v) {
+		t.Errorf("variance = %v, want >= 0", v)
+	}
+	if sd := s.Stddev(); math.IsNaN(sd) {
+		t.Errorf("stddev = %v, want a number", sd)
+	}
+}
+
+func TestSampleStringSingleObservation(t *testing.T) {
+	var s measure.Sample
+	s.Add(42.5)
+	got := s.String()
+	if strings.Contains(got, "±") {
+		t.Errorf("n=1 String() = %q, must not render a ± term", got)
+	}
+	if !strings.Contains(got, "42.50") || !strings.Contains(got, "n=1") {
+		t.Errorf("n=1 String() = %q, want mean and count", got)
+	}
+
+	s.Add(43.5)
+	if got := s.String(); !strings.Contains(got, "±") {
+		t.Errorf("n=2 String() = %q, want a ± term", got)
+	}
+}

@@ -1,0 +1,72 @@
+package nic
+
+import "barbican/internal/obs"
+
+// PublishMetrics registers the card's counters and processor state with
+// the registry as collector closures. The packet fast path is untouched
+// — the closures read the existing Stats fields only when a snapshot or
+// flight-recorder tick gathers them, so an unsampled (or unregistered)
+// card pays nothing.
+func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	counter := func(name, help string, read func() float64) {
+		reg.MustRegisterFunc(name, help, obs.KindCounter, read, labels...)
+	}
+	gauge := func(name, help string, read func() float64) {
+		reg.MustRegisterFunc(name, help, obs.KindGauge, read, labels...)
+	}
+
+	counter("nic_rx_frames_total", "Frames addressed to this card.",
+		func() float64 { return float64(n.stats.RxFrames) })
+	counter("nic_rx_allowed_total", "Ingress frames passed to the host.",
+		func() float64 { return float64(n.stats.RxAllowed) })
+	counter("nic_rx_denied_total", "Ingress frames denied by policy.",
+		func() float64 { return float64(n.stats.RxDenied) })
+	counter("nic_rx_overload_drops_total", "Ingress frames dropped by the saturated processor.",
+		func() float64 { return float64(n.stats.RxOverloadDrops) })
+	counter("nic_rx_auth_failures_total", "VPG open failures (tamper, non-member, wrong key).",
+		func() float64 { return float64(n.stats.RxAuthFailures) })
+	counter("nic_rx_replay_drops_total", "Sealed frames dropped by the replay window.",
+		func() float64 { return float64(n.stats.RxReplayDrops) })
+	counter("nic_rx_no_group_total", "Sealed frames for groups the card lacks.",
+		func() float64 { return float64(n.stats.RxNoGroup) })
+	counter("nic_rx_malformed_total", "Unparseable ingress frames.",
+		func() float64 { return float64(n.stats.RxMalformed) })
+	counter("nic_rx_locked_drops_total", "Ingress frames dropped while the card was wedged.",
+		func() float64 { return float64(n.stats.RxLockedDrops) })
+
+	counter("nic_tx_requests_total", "Egress transmit requests from the host.",
+		func() float64 { return float64(n.stats.TxRequests) })
+	counter("nic_tx_allowed_total", "Egress frames accepted for transmission.",
+		func() float64 { return float64(n.stats.TxAllowed) })
+	counter("nic_tx_denied_total", "Egress frames denied by policy.",
+		func() float64 { return float64(n.stats.TxDenied) })
+	counter("nic_tx_overload_drops_total", "Egress frames dropped by the saturated processor.",
+		func() float64 { return float64(n.stats.TxOverloadDrops) })
+	counter("nic_tx_locked_drops_total", "Egress frames dropped while the card was wedged.",
+		func() float64 { return float64(n.stats.TxLockedDrops) })
+
+	counter("nic_sealed_total", "Datagrams sealed into VPG envelopes.",
+		func() float64 { return float64(n.stats.Sealed) })
+	counter("nic_opened_total", "VPG envelopes verified and opened.",
+		func() float64 { return float64(n.stats.Opened) })
+	counter("nic_lockups_total", "Times the card wedged (EFW Deny-All failure).",
+		func() float64 { return float64(n.stats.Lockups) })
+
+	gauge("nic_locked", "Whether the card is currently wedged (0/1).",
+		func() float64 {
+			if n.locked {
+				return 1
+			}
+			return 0
+		})
+	gauge("nic_proc_queue_depth", "Descriptor-ring occupancy of the embedded processor.",
+		func() float64 { return float64(n.proc.Queued()) })
+	gauge("nic_proc_backlog_seconds", "Queued work on the embedded processor, in time.",
+		func() float64 { return n.proc.Backlog().Seconds() })
+	gauge("nic_proc_capacity_units", "Processor capacity in cost units/s (0 = wire speed).",
+		n.proc.Capacity)
+	counter("nic_proc_admitted_total", "Work items accepted by the processor.",
+		func() float64 { return float64(n.proc.Admitted()) })
+	counter("nic_proc_units_total", "Cost units accepted by the processor; its per-second rate over capacity is utilisation.",
+		n.proc.UnitsDone)
+}

@@ -1,0 +1,51 @@
+package nic
+
+import (
+	"testing"
+
+	"barbican/internal/fw"
+	"barbican/internal/link"
+	"barbican/internal/obs"
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+)
+
+// benchRx drives the card's ingress path — handleFrame plus the kernel
+// events it schedules — once per iteration. It backs the zero-cost-
+// when-disabled contract: BenchmarkRxPath/instrumented publishes every
+// card counter to a registry (no recorder sampling it) and must be
+// within noise of BenchmarkRxPath/uninstrumented, because collector
+// closures only run at gather time.
+func benchRx(b *testing.B, instrument bool) {
+	k := sim.NewKernel()
+	_, eb := link.New(k, link.Config{QueueFrames: 1 << 16})
+	n := New(k, macB, EFW(), eb)
+	n.InstallRuleSet(fw.MustRuleSet(fw.Deny,
+		fw.Rule{Action: fw.Allow, Direction: fw.In, Proto: packet.ProtoUDP, DstPorts: fw.Port(2000)},
+	))
+	n.SetDeliver(func(f *packet.Frame) {})
+	if instrument {
+		n.PublishMetrics(obs.NewRegistry(), obs.L("host", "bench"))
+	}
+
+	d := udpDatagram(ipA, ipB, 1000, 2000, 100)
+	f := &packet.Frame{Dst: macB, Src: macA, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.handleFrame(f)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := n.Stats().RxAllowed; got != uint64(b.N) {
+		b.Fatalf("rx allowed = %d, want %d", got, b.N)
+	}
+}
+
+func BenchmarkRxPath(b *testing.B) {
+	b.Run("uninstrumented", func(b *testing.B) { benchRx(b, false) })
+	b.Run("instrumented", func(b *testing.B) { benchRx(b, true) })
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WritePromText writes a point-in-time snapshot of the registry in
+// Prometheus text exposition format — exactly what a /metrics scrape of
+// the run would return at the current virtual instant.
+func (r *Registry) WritePromText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	samples := r.Gather()
+	for _, fam := range familyOrder(samples) {
+		first := true
+		for _, sv := range samples {
+			if sv.Name != fam {
+				continue
+			}
+			if first {
+				first = false
+				if sv.Help != "" {
+					fmt.Fprintf(bw, "# HELP %s %s\n", sv.Name, sv.Help)
+				}
+				fmt.Fprintf(bw, "# TYPE %s %s\n", sv.Name, sv.Kind)
+			}
+			fmt.Fprintf(bw, "%s %s\n", sv.ID, formatValue(sv.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// familyOrder returns distinct family names in first-appearance order,
+// so the exposition groups each family's series under one TYPE line.
+func familyOrder(samples []SampleValue) []string {
+	var fams []string
+	seen := make(map[string]bool)
+	for _, sv := range samples {
+		if !seen[sv.Name] {
+			seen[sv.Name] = true
+			fams = append(fams, sv.Name)
+		}
+	}
+	return fams
+}
+
+// WritePromText writes the recorded timeline in Prometheus text format
+// with explicit millisecond timestamps (virtual time), one exposition
+// line per series per tick — suitable for backfill tooling and for
+// eyeballing a run's evolution with standard Prometheus parsers.
+func (rec *Recorder) WritePromText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	all := rec.AllSeries()
+	var fams []string
+	seen := make(map[string]bool)
+	for _, sd := range all {
+		if !seen[sd.Info.Name] {
+			seen[sd.Info.Name] = true
+			fams = append(fams, sd.Info.Name)
+		}
+	}
+	for _, fam := range fams {
+		first := true
+		for _, sd := range all {
+			if sd.Info.Name != fam {
+				continue
+			}
+			if first {
+				first = false
+				if sd.Info.Help != "" {
+					fmt.Fprintf(bw, "# HELP %s %s\n", sd.Info.Name, sd.Info.Help)
+				}
+				fmt.Fprintf(bw, "# TYPE %s %s\n", sd.Info.Name, sd.Info.Kind)
+			}
+			for _, p := range sd.Points {
+				fmt.Fprintf(bw, "%s %s %d\n", sd.Info.ID, formatValue(p.V), p.T.Milliseconds())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the timeline as a wide CSV: a time_s column, one
+// column per series (cumulative values as sampled), and a trailing
+// rate:<id> column per counter series holding the per-second first
+// difference — the instantaneous-rate view (goodput, deny rate, …).
+// Cells for ticks taken before a series existed are left empty.
+func (rec *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	infos := rec.reg.Infos()
+	bw.WriteString("time_s")
+	for _, in := range infos {
+		bw.WriteString(",")
+		bw.WriteString(csvEscape(in.ID))
+	}
+	var rateCols []int
+	for i, in := range infos {
+		if in.Kind == KindCounter {
+			rateCols = append(rateCols, i)
+			bw.WriteString(",")
+			bw.WriteString(csvEscape("rate:" + in.ID))
+		}
+	}
+	bw.WriteByte('\n')
+
+	ticks := rec.ticks
+	for ti, t := range ticks {
+		fmt.Fprintf(bw, "%.6f", t.At.Seconds())
+		for i := range infos {
+			bw.WriteByte(',')
+			if i < len(t.Values) {
+				bw.WriteString(formatValue(t.Values[i]))
+			}
+		}
+		for _, i := range rateCols {
+			bw.WriteByte(',')
+			if ti == 0 {
+				continue
+			}
+			prev := ticks[ti-1]
+			dt := t.At - prev.At
+			if i >= len(t.Values) || i >= len(prev.Values) || dt <= 0 {
+				continue
+			}
+			bw.WriteString(formatValue((t.Values[i] - prev.Values[i]) / dt.Seconds()))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// jsonSeries is the JSON shape of one recorded series.
+type jsonSeries struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Points are [virtual_seconds, value] pairs.
+	Points [][2]float64 `json:"points"`
+	// Rate is the per-second first difference, for counter series.
+	Rate [][2]float64 `json:"rate,omitempty"`
+}
+
+type jsonTimeline struct {
+	SampleEverySeconds float64      `json:"sample_every_seconds"`
+	Ticks              int          `json:"ticks"`
+	Series             []jsonSeries `json:"series"`
+}
+
+// WriteJSON writes the timeline as a machine-readable JSON document.
+func (rec *Recorder) WriteJSON(w io.Writer) error {
+	doc := jsonTimeline{
+		SampleEverySeconds: rec.every.Seconds(),
+		Ticks:              len(rec.ticks),
+	}
+	for _, sd := range rec.AllSeries() {
+		js := jsonSeries{
+			ID:   sd.Info.ID,
+			Name: sd.Info.Name,
+			Kind: sd.Info.Kind.String(),
+			Help: sd.Info.Help,
+		}
+		if len(sd.Info.Labels) > 0 {
+			js.Labels = make(map[string]string, len(sd.Info.Labels))
+			for _, l := range sd.Info.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		for _, p := range sd.Points {
+			js.Points = append(js.Points, [2]float64{p.T.Seconds(), p.V})
+		}
+		if sd.Info.Kind == KindCounter {
+			for _, p := range sd.Rate() {
+				js.Rate = append(js.Rate, [2]float64{p.T.Seconds(), p.V})
+			}
+		}
+		doc.Series = append(doc.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteJSON writes a point-in-time snapshot of the registry as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonSample struct {
+		ID     string            `json:"id"`
+		Name   string            `json:"name"`
+		Kind   string            `json:"kind"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  float64           `json:"value"`
+	}
+	var doc []jsonSample
+	for _, sv := range r.Gather() {
+		js := jsonSample{ID: sv.ID, Name: sv.Name, Kind: sv.Kind.String(), Value: sv.Value}
+		if len(sv.Labels) > 0 {
+			js.Labels = make(map[string]string, len(sv.Labels))
+			for _, l := range sv.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		doc = append(doc, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// SanitizeName maps an arbitrary label to a filesystem- and
+// metrics-friendly token: lowercase, [a-z0-9_-] only.
+func SanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		case r == '_', r == ' ', r == '/', r == '(', r == ')':
+			// Underscore runs — literal or from separators — collapse to
+			// one ("ADF (VPG)_rate" → "adf_vpg_rate", not "adf_vpg__rate").
+			if out := b.String(); out != "" && out[len(out)-1] != '_' {
+				b.WriteByte('_')
+			}
+		}
+	}
+	out := strings.Trim(b.String(), "_")
+	if out == "" {
+		return "run"
+	}
+	return out
+}
+
+// WriteRunArtifacts writes one run's telemetry under dir as
+// <base>.prom (timeline with timestamps), <base>.csv, <base>.json, and
+// <base>.snapshot.prom (final scrape-style snapshot). It returns the
+// paths written.
+func WriteRunArtifacts(dir, base string, reg *Registry, rec *Recorder) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: artifacts dir: %w", err)
+	}
+	base = SanitizeName(base)
+	var paths []string
+	write := func(name string, fn func(io.Writer) error) error {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: write %s: %w", p, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: close %s: %w", p, err)
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	if rec != nil {
+		if err := write(base+".prom", rec.WritePromText); err != nil {
+			return paths, err
+		}
+		if err := write(base+".csv", rec.WriteCSV); err != nil {
+			return paths, err
+		}
+		if err := write(base+".json", rec.WriteJSON); err != nil {
+			return paths, err
+		}
+	}
+	if err := write(base+".snapshot.prom", reg.WritePromText); err != nil {
+		return paths, err
+	}
+	return paths, nil
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

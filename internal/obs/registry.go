@@ -1,0 +1,310 @@
+// Package obs is barbican's unified telemetry layer: a metrics registry
+// (counters, gauges, histograms with labeled series), a virtual-time
+// flight recorder that samples registered metrics on a configurable
+// tick, and exporters for Prometheus text format, JSON, and CSV.
+//
+// The design contract is zero cost when disabled: components keep their
+// existing plain counter structs on the fast path and expose them to a
+// registry through read closures ("collectors") that are only invoked
+// when a snapshot is taken. A simulation with no registry attached — or
+// a registry with no recorder sampling it — executes exactly the same
+// instructions on the packet path as an uninstrumented one.
+//
+// All sampling happens in virtual time on the simulation kernel, so
+// recorded time series are deterministic per seed, like everything else
+// in the simulator.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a metric series for exporters and rate derivation.
+type Kind int
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonically non-decreasing cumulative count;
+	// exporters derive instantaneous rates from counter timelines.
+	KindCounter Kind = iota + 1
+	// KindGauge is a point-in-time level (queue depth, ratio, boolean).
+	KindGauge
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one key="value" dimension of a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesID renders the canonical identity of a series: the family name
+// plus its labels in sorted-key order, Prometheus-style.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SeriesInfo describes one registered scalar series.
+type SeriesInfo struct {
+	// ID is the canonical name{labels} identity.
+	ID string
+	// Name is the metric family name.
+	Name string
+	// Help is the family's one-line description.
+	Help string
+	// Kind is the series kind.
+	Kind Kind
+	// Labels are the series dimensions, in sorted-key order.
+	Labels []Label
+}
+
+// SampleValue is one gathered observation of a series.
+type SampleValue struct {
+	SeriesInfo
+	Value float64
+}
+
+type series struct {
+	info SeriesInfo
+	read func() float64
+}
+
+// Registry holds the registered metric series of one simulation run.
+// Registration order is preserved; it defines export and recorder
+// column order, keeping every artifact deterministic.
+//
+// A Registry is not safe for concurrent use; like the kernel it
+// observes, it belongs to the single simulation goroutine.
+type Registry struct {
+	series []*series
+	byID   map[string]bool
+	hists  []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]bool)}
+}
+
+// RegisterFunc registers a collector series whose value is produced by
+// read at gather time. This is how components publish existing counters
+// without changing their fast-path structs. Registering a duplicate
+// name+labels identity is an error.
+func (r *Registry) RegisterFunc(name, help string, kind Kind, read func() float64, labels ...Label) error {
+	if name == "" {
+		return fmt.Errorf("obs: register: empty metric name")
+	}
+	if read == nil {
+		return fmt.Errorf("obs: register %s: nil read func", name)
+	}
+	id := seriesID(name, labels)
+	if r.byID[id] {
+		return fmt.Errorf("obs: duplicate series %s", id)
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	r.byID[id] = true
+	r.series = append(r.series, &series{
+		info: SeriesInfo{ID: id, Name: name, Help: help, Kind: kind, Labels: sorted},
+		read: read,
+	})
+	return nil
+}
+
+// MustRegisterFunc is RegisterFunc, panicking on error. Registration
+// happens at wiring time with programmer-chosen names, so a failure is
+// a bug, not a runtime condition.
+func (r *Registry) MustRegisterFunc(name, help string, kind Kind, read func() float64, labels ...Label) {
+	if err := r.RegisterFunc(name, help, kind, read, labels...); err != nil {
+		panic(err)
+	}
+}
+
+// Counter is a registry-owned cumulative instrument for code that has
+// no pre-existing counter to publish (e.g. the experiment harness).
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (negative deltas are ignored; counters are monotonic).
+func (c *Counter) Add(d float64) {
+	if d > 0 {
+		c.v += d
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// NewCounter registers and returns an owned counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) (*Counter, error) {
+	c := &Counter{}
+	if err := r.RegisterFunc(name, help, KindCounter, c.Value, labels...); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Gauge is a registry-owned level instrument.
+type Gauge struct{ v float64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the level by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// NewGauge registers and returns an owned gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) (*Gauge, error) {
+	g := &Gauge{}
+	if err := r.RegisterFunc(name, help, KindGauge, g.Value, labels...); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Histogram is a fixed-bucket cumulative histogram. It gathers as the
+// conventional Prometheus expansion: one cumulative _bucket series per
+// upper bound (plus +Inf), a _sum, and a _count.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.sum += v
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.buckets {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// NewHistogram registers a histogram with the given ascending bucket
+// upper bounds (a +Inf bucket is always appended).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) (*Histogram, error) {
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("obs: histogram %s: bounds not ascending", name)
+	}
+	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]uint64, len(h.bounds)+1)
+	// Expand into cumulative-bucket collector series so the recorder and
+	// every exporter see plain scalars.
+	for i := range h.bounds {
+		i := i
+		le := fmt.Sprintf("%g", h.bounds[i])
+		err := r.RegisterFunc(name+"_bucket", help, KindCounter, func() float64 {
+			var n uint64
+			for _, c := range h.buckets[:i+1] {
+				n += c
+			}
+			return float64(n)
+		}, append(append([]Label(nil), labels...), L("le", le))...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	err := r.RegisterFunc(name+"_bucket", help, KindCounter, func() float64 {
+		return float64(h.Count())
+	}, append(append([]Label(nil), labels...), L("le", "+Inf"))...)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.RegisterFunc(name+"_sum", help, KindCounter, func() float64 { return h.sum }, labels...); err != nil {
+		return nil, err
+	}
+	err = r.RegisterFunc(name+"_count", help, KindCounter, func() float64 {
+		return float64(h.Count())
+	}, labels...)
+	if err != nil {
+		return nil, err
+	}
+	r.hists = append(r.hists, h)
+	return h, nil
+}
+
+// Len returns the number of registered scalar series.
+func (r *Registry) Len() int { return len(r.series) }
+
+// Infos returns the registered series descriptors in registration order.
+func (r *Registry) Infos() []SeriesInfo {
+	out := make([]SeriesInfo, len(r.series))
+	for i, s := range r.series {
+		out[i] = s.info
+	}
+	return out
+}
+
+// Gather reads every registered series once, in registration order.
+func (r *Registry) Gather() []SampleValue {
+	out := make([]SampleValue, len(r.series))
+	for i, s := range r.series {
+		out[i] = SampleValue{SeriesInfo: s.info, Value: s.read()}
+	}
+	return out
+}
+
+// gatherValues reads every series into dst (resized as needed),
+// avoiding per-tick descriptor allocation in the recorder.
+func (r *Registry) gatherValues(dst []float64) []float64 {
+	if cap(dst) < len(r.series) {
+		dst = make([]float64, len(r.series))
+	}
+	dst = dst[:len(r.series)]
+	for i, s := range r.series {
+		dst[i] = s.read()
+	}
+	return dst
+}

@@ -1,0 +1,20 @@
+package policy
+
+import "barbican/internal/obs"
+
+// PublishMetrics registers the firewall agent's counters with the
+// registry as collector closures.
+func (a *Agent) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegisterFunc("policy_agent_installs_total", "Policies installed on the card.",
+		obs.KindCounter, func() float64 { return float64(a.stats.Installs) }, labels...)
+	reg.MustRegisterFunc("policy_agent_auth_fails_total", "Pushes rejected for bad signatures.",
+		obs.KindCounter, func() float64 { return float64(a.stats.AuthFails) }, labels...)
+	reg.MustRegisterFunc("policy_agent_parse_fails_total", "Pushes rejected as unparseable.",
+		obs.KindCounter, func() float64 { return float64(a.stats.ParseFails) }, labels...)
+	reg.MustRegisterFunc("policy_agent_stale_drops_total", "Pushes older than the installed version.",
+		obs.KindCounter, func() float64 { return float64(a.stats.StaleDrops) }, labels...)
+	reg.MustRegisterFunc("policy_agent_restarts_total", "Agent restarts (EFW lockup recovery).",
+		obs.KindCounter, func() float64 { return float64(a.stats.Restarts) }, labels...)
+	reg.MustRegisterFunc("policy_agent_installed_version", "Installed policy version.",
+		obs.KindGauge, func() float64 { return float64(a.installedVersion) }, labels...)
+}

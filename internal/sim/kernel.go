@@ -58,6 +58,14 @@ type Kernel struct {
 	halted bool
 
 	executed uint64
+
+	// Observability (see internal/obs). afterStep is a lightweight
+	// observer hook costing one nil check per event when unset; wall
+	// accounting costs one time.Now pair per Run call, never per event.
+	afterStep func(*Kernel)
+	wallBusy  time.Duration
+	runStart  time.Time
+	running   bool
 }
 
 // Option configures a Kernel.
@@ -89,6 +97,52 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Executed returns the number of events executed so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetAfterStep registers an observer invoked after every executed event
+// (nil removes it). The hook must not block; it exists for telemetry
+// and progress reporting, and costs a single nil check when unset.
+func (k *Kernel) SetAfterStep(fn func(*Kernel)) { k.afterStep = fn }
+
+// WallBusy returns the cumulative wall-clock time spent inside Run,
+// RunUntil, and RunFor — the denominator of the virtual/wall speedup
+// ratio. It is accurate mid-run (event callbacks observe a live value).
+func (k *Kernel) WallBusy() time.Duration {
+	if k.running {
+		return k.wallBusy + time.Since(k.runStart)
+	}
+	return k.wallBusy
+}
+
+// Speedup returns the virtual/wall-clock ratio: how many virtual
+// seconds the kernel has simulated per wall-clock second of execution.
+// Zero until the kernel has run.
+func (k *Kernel) Speedup() float64 {
+	w := k.WallBusy().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return k.now.Seconds() / w
+}
+
+// beginRun/endRun bracket the Run variants for wall-clock accounting.
+// Nested runs (an event callback driving the kernel again) are counted
+// once, by the outermost frame.
+func (k *Kernel) beginRun() bool {
+	if k.running {
+		return false
+	}
+	k.running = true
+	k.runStart = time.Now()
+	return true
+}
+
+func (k *Kernel) endRun(outermost bool) {
+	if !outermost {
+		return
+	}
+	k.wallBusy += time.Since(k.runStart)
+	k.running = false
+}
 
 // Len returns the number of pending events.
 func (k *Kernel) Len() int { return k.queue.Len() }
@@ -127,12 +181,16 @@ func (k *Kernel) Step() bool {
 	k.now = ev.at
 	k.executed++
 	ev.fn()
+	if k.afterStep != nil {
+		k.afterStep(k)
+	}
 	return true
 }
 
 // Run executes events until the queue is empty or the kernel is halted.
 // It returns ErrHalted if Halt was called.
 func (k *Kernel) Run() error {
+	defer k.endRun(k.beginRun())
 	k.halted = false
 	for !k.halted {
 		if !k.Step() {
@@ -145,6 +203,7 @@ func (k *Kernel) Run() error {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. It returns ErrHalted if Halt was called before t was reached.
 func (k *Kernel) RunUntil(t time.Duration) error {
+	defer k.endRun(k.beginRun())
 	k.halted = false
 	for !k.halted {
 		if k.queue.Len() == 0 || k.queue[0].at > t {

@@ -1,0 +1,41 @@
+package stack
+
+import "barbican/internal/obs"
+
+// PublishMetrics registers the host's stack counters with the registry
+// as collector closures; the datagram path is untouched.
+func (h *Host) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	counter := func(name, help string, read func() float64) {
+		reg.MustRegisterFunc(name, help, obs.KindCounter, read, labels...)
+	}
+
+	counter("stack_rx_datagrams_total", "Datagrams delivered to the stack.",
+		func() float64 { return float64(h.stats.RxDatagrams) })
+	counter("stack_rx_malformed_total", "Unparseable datagrams or segments.",
+		func() float64 { return float64(h.stats.RxMalformed) })
+	counter("stack_rx_filtered_total", "Datagrams dropped by the host firewall.",
+		func() float64 { return float64(h.stats.RxFiltered) })
+	counter("stack_rx_no_listener_total", "TCP segments to closed ports.",
+		func() float64 { return float64(h.stats.RxNoListener) })
+	counter("stack_rx_no_socket_total", "UDP datagrams to closed ports.",
+		func() float64 { return float64(h.stats.RxNoSocket) })
+	counter("stack_rx_fragments_total", "IP fragments received.",
+		func() float64 { return float64(h.stats.RxFragments) })
+	counter("stack_rx_reassembled_total", "Datagrams reassembled from fragments.",
+		func() float64 { return float64(h.stats.RxReassembled) })
+	counter("stack_tx_datagrams_total", "Datagrams transmitted onto the wire.",
+		func() float64 { return float64(h.stats.TxDatagrams) })
+	counter("stack_tx_filtered_total", "Egress datagrams dropped by the host firewall.",
+		func() float64 { return float64(h.stats.TxFiltered) })
+	counter("stack_tx_nic_refused_total", "Datagrams the NIC refused (deny, overload, lockup).",
+		func() float64 { return float64(h.stats.TxNICRefused) })
+	counter("stack_rsts_sent_total", "TCP resets sent for orphan segments.",
+		func() float64 { return float64(h.stats.RSTsSent) })
+	counter("stack_unreach_sent_total", "ICMP port-unreachables sent.",
+		func() float64 { return float64(h.stats.UnreachSent) })
+	counter("stack_echo_replies_total", "ICMP echo requests answered.",
+		func() float64 { return float64(h.stats.EchoReplies) })
+
+	reg.MustRegisterFunc("stack_tcp_conns", "Live TCP connections.",
+		obs.KindGauge, func() float64 { return float64(len(h.conns)) }, labels...)
+}
