@@ -11,6 +11,9 @@
 //	-quick           shrink sweeps to a few representative points
 //	-duration D      per-measurement window (default: tool defaults)
 //	-seed N          simulation seed (default 1)
+//	-parallel N      experiment points measured concurrently (default
+//	                 GOMAXPROCS; 1 = serial). Output is byte-identical
+//	                 at any worker count.
 //	-metrics-out DIR write telemetry artifacts (Prometheus text, JSON,
 //	                 CSV) for every run, plus figure/table data exports
 //	-sample-every D  flight-recorder tick in virtual time (default 50ms)
@@ -20,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"barbican/internal/experiment"
+	"barbican/internal/obs"
 )
 
 func main() {
@@ -37,6 +42,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink sweeps to representative points")
 	duration := fs.Duration("duration", 0, "per-measurement window (0 = tool default)")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	parallel := fs.Int("parallel", 0, "experiment points measured concurrently (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory")
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	fs.Usage = func() {
@@ -50,9 +56,15 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name")
 	}
+	acct := &experiment.Accounting{}
 	cfg := experiment.Config{
 		Quick: *quick, Duration: *duration, Seed: *seed,
 		MetricsDir: *metricsOut, SampleEvery: *sampleEvery,
+		Parallel: *parallel, Account: acct,
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	type runner struct {
@@ -92,7 +104,15 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unknown experiment %q", want)
 	}
-	fmt.Printf("(completed in %v wall clock)\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Println(acct.Summary(elapsed, workers))
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		acct.Publish(reg, elapsed, workers)
+		if _, err := obs.WriteRunArtifacts(*metricsOut, "executor", reg, nil); err != nil {
+			return fmt.Errorf("executor metrics: %w", err)
+		}
+	}
 	return nil
 }
 

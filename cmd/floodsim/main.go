@@ -1,27 +1,39 @@
 // Command floodsim explores flood tolerance interactively: measure
-// available bandwidth for one device/depth/flood-rate configuration, or
-// search for the minimum denial-of-service flood rate.
+// available bandwidth for one device/depth/flood-rate configuration,
+// search for the minimum denial-of-service flood rate, or sweep a grid
+// of configurations in parallel.
 //
 // Usage:
 //
 //	floodsim -device efw -depth 64 -rate 8000
 //	floodsim -device adf -depth 64 -deny -search
 //	floodsim -device adf -rate 12500 -metrics-out /tmp/m
+//	floodsim -device efw -depths 1,16,64 -rates 4000,8000,12500 -parallel 4
 //
 // With -metrics-out the run is recorded by the obs flight recorder and
 // written in the same artifact formats as cmd/barbican: Prometheus
 // text, JSON, and CSV timelines plus a final scrape-style snapshot.
+//
+// With -depths and/or -rates the tool sweeps the cross product on
+// -parallel workers. Each point owns a private simulation, and output
+// is routed through an ordered collector: the lowest unfinished point
+// streams live, later points buffer until their turn, so concurrent
+// workers can never interleave partial lines and the output is
+// byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"barbican/internal/core"
 	"barbican/internal/obs"
+	"barbican/internal/runner"
 )
 
 func main() {
@@ -58,6 +70,9 @@ func run(args []string) error {
 	search := fs.Bool("search", false, "binary-search the minimum DoS flood rate")
 	duration := fs.Duration("duration", 2*time.Second, "measurement window")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	depthList := fs.String("depths", "", "comma-separated depth sweep (overrides -depth; enables sweep mode)")
+	rateList := fs.String("rates", "", "comma-separated flood-rate sweep (overrides -rate; enables sweep mode)")
+	parallel := fs.Int("parallel", 0, "sweep points measured concurrently (0 = GOMAXPROCS, 1 = serial)")
 	pcapPath := fs.String("pcap", "", "write the target's wire traffic to this pcap file (single runs only)")
 	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory (single runs only)")
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
@@ -78,22 +93,27 @@ func run(args []string) error {
 		Seed:            *seed,
 	}
 
+	if *depthList != "" || *rateList != "" {
+		if *metricsOut != "" || *pcapPath != "" {
+			return fmt.Errorf("-metrics-out and -pcap apply to single runs only, not sweeps")
+		}
+		depths, err := parseInts(*depthList, *depth)
+		if err != nil {
+			return fmt.Errorf("-depths: %w", err)
+		}
+		rates, err := parseFloats(*rateList, *rate)
+		if err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
+		return runSweep(s, depths, rates, *search, *parallel)
+	}
+
 	if *search {
 		r, err := core.MinFloodRate(s)
 		if err != nil {
 			return err
 		}
-		if !r.Found {
-			fmt.Printf("%v depth=%d: no denial of service up to %d pps\n",
-				device, *depth, core.MaxSearchRatePPS)
-			return nil
-		}
-		note := ""
-		if r.LockedUp {
-			note = "  (card LOCKED UP — agent restart required, as the paper observed)"
-		}
-		fmt.Printf("%v depth=%d flood-%s: minimum DoS flood rate ≈ %.0f pps (%d probes)%s\n",
-			device, *depth, mode(!*deny), r.RatePPS, r.Probes, note)
+		fmt.Print(searchReport(s, r))
 		return nil
 	}
 
@@ -123,15 +143,135 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%v depth=%d flood=%.0f pps (%s): %.1f Mbps available\n",
-		device, *depth, *rate, mode(!*deny), p.Mbps())
+	fmt.Print(bandwidthReport(s, p))
+	return nil
+}
+
+// searchReport renders a minimum-flood-rate search result in the tool's
+// single-run format.
+func searchReport(s core.Scenario, r core.MinFloodResult) string {
+	if !r.Found {
+		return fmt.Sprintf("%v depth=%d: no denial of service up to %d pps\n",
+			s.Device, s.Depth, core.MaxSearchRatePPS)
+	}
+	note := ""
+	if r.LockedUp {
+		note = "  (card LOCKED UP — agent restart required, as the paper observed)"
+	}
+	return fmt.Sprintf("%v depth=%d flood-%s: minimum DoS flood rate ≈ %.0f pps (%d probes)%s\n",
+		s.Device, s.Depth, mode(s.FloodAllowed), r.RatePPS, r.Probes, note)
+}
+
+// bandwidthReport renders a bandwidth point in the tool's single-run
+// format.
+func bandwidthReport(s core.Scenario, p core.BandwidthPoint) string {
+	out := fmt.Sprintf("%v depth=%d flood=%.0f pps (%s): %.1f Mbps available\n",
+		s.Device, s.Depth, s.FloodRatePPS, mode(s.FloodAllowed), p.Mbps())
 	if p.TargetLocked {
-		fmt.Println("target card LOCKED UP during the flood")
+		out += "target card LOCKED UP during the flood\n"
 	}
 	st := p.TargetNIC
-	fmt.Printf("target card: rx %d frames (%d allowed, %d denied, %d overload-dropped), tx %d (%d overload-dropped)\n",
+	out += fmt.Sprintf("target card: rx %d frames (%d allowed, %d denied, %d overload-dropped), tx %d (%d overload-dropped)\n",
 		st.RxFrames, st.RxAllowed, st.RxDenied, st.RxOverloadDrops, st.TxAllowed, st.TxOverloadDrops)
+	return out
+}
+
+// runSweep measures the depths × rates cross product on the executor.
+// Point-level output goes through an ordered collector, so concurrent
+// workers never interleave partial lines and the byte stream matches a
+// serial run of the same sweep. With -search each depth searches
+// independently (rates are ignored; the search picks its own probes).
+func runSweep(base core.Scenario, depths []int, rates []float64, search bool, parallel int) error {
+	type point struct {
+		s core.Scenario
+	}
+	var points []point
+	for _, d := range depths {
+		sc := base
+		sc.Depth = d
+		if search {
+			points = append(points, point{s: sc})
+			continue
+		}
+		for _, r := range rates {
+			sr := sc
+			sr.FloodRatePPS = r
+			points = append(points, point{s: sr})
+		}
+	}
+
+	col := runner.NewCollector(os.Stdout, len(points))
+	start := time.Now()
+	var simSecs float64
+	var mu sync.Mutex
+	_, err := runner.Map(runner.Pool{Workers: parallel}, len(points), func(i int) (struct{}, error) {
+		defer col.Done(i)
+		sc := points[i].s
+		if search {
+			r, err := core.MinFloodRate(sc)
+			if err != nil {
+				return struct{}{}, err
+			}
+			mu.Lock()
+			simSecs += r.SimSeconds
+			mu.Unlock()
+			col.Printf(i, "%s", searchReport(sc, r))
+			return struct{}{}, nil
+		}
+		p, err := core.RunBandwidth(sc)
+		if err != nil {
+			return struct{}{}, err
+		}
+		mu.Lock()
+		simSecs += p.SimSeconds
+		mu.Unlock()
+		col.Printf(i, "%s", bandwidthReport(sc, p))
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	line := fmt.Sprintf("(%d points in %v wall clock", len(points), elapsed.Round(time.Millisecond))
+	if elapsed > 0 {
+		line += fmt.Sprintf(", %.1f sim-s/wall-s", simSecs/elapsed.Seconds())
+	}
+	fmt.Println(line + ")")
 	return nil
+}
+
+// parseInts parses a comma-separated integer list; empty falls back to
+// the single default.
+func parseInts(list string, def int) ([]int, error) {
+	if list == "" {
+		return []int{def}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list; empty falls back to
+// the single default.
+func parseFloats(list string, def float64) ([]float64, error) {
+	if list == "" {
+		return []float64{def}, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func mode(allowed bool) string {

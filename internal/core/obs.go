@@ -92,6 +92,8 @@ func RunBandwidthInstrumented(s Scenario, sampleEvery time.Duration) (BandwidthP
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		SimSeconds:   tb.Kernel.Now().Seconds(),
+		WallBusy:     tb.Kernel.WallBusy(),
 	}
 	if flood != nil {
 		flood.Stop()
@@ -160,6 +162,8 @@ func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrum
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		SimSeconds:   tb.Kernel.Now().Seconds(),
+		WallBusy:     tb.Kernel.WallBusy(),
 	}
 	if flood != nil {
 		flood.Stop()

@@ -67,6 +67,11 @@ type BandwidthPoint struct {
 	FloodSent    uint64
 	TargetLocked bool
 	TargetNIC    nic.Stats
+	// SimSeconds and WallBusy report how much virtual time the point's
+	// kernel simulated and how much wall clock it burned doing so — the
+	// inputs to the executor's sim-seconds-per-wall-second accounting.
+	SimSeconds float64
+	WallBusy   time.Duration
 }
 
 // Mbps returns the measured available bandwidth.
@@ -74,8 +79,10 @@ func (p BandwidthPoint) Mbps() float64 { return p.Iperf.Mbps }
 
 // HTTPPoint is the outcome of an HTTP load scenario.
 type HTTPPoint struct {
-	Scenario Scenario
-	Load     measure.HTTPLoadResult
+	Scenario   Scenario
+	Load       measure.HTTPLoadResult
+	SimSeconds float64
+	WallBusy   time.Duration
 }
 
 // buildTestbed constructs and polices a testbed for the scenario.
@@ -236,6 +243,8 @@ func runBandwidth(s Scenario, tap func(*Testbed)) (BandwidthPoint, error) {
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		SimSeconds:   tb.Kernel.Now().Seconds(),
+		WallBusy:     tb.Kernel.WallBusy(),
 	}
 	if flood != nil {
 		flood.Stop()
@@ -267,5 +276,10 @@ func RunHTTP(s Scenario) (HTTPPoint, error) {
 	if flood != nil {
 		flood.Stop()
 	}
-	return HTTPPoint{Scenario: s, Load: res}, nil
+	return HTTPPoint{
+		Scenario:   s,
+		Load:       res,
+		SimSeconds: tb.Kernel.Now().Seconds(),
+		WallBusy:   tb.Kernel.WallBusy(),
+	}, nil
 }

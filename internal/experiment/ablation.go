@@ -4,7 +4,19 @@ import (
 	"fmt"
 
 	"barbican/internal/core"
+	"barbican/internal/runner"
 )
+
+// runAccountedBandwidth is core.RunBandwidth plus executor accounting —
+// the shared body of the ablation points.
+func runAccountedBandwidth(cfg Config, s core.Scenario) (core.BandwidthPoint, error) {
+	p, err := core.RunBandwidth(s)
+	if err != nil {
+		return p, err
+	}
+	cfg.account(1, p.SimSeconds, p.WallBusy)
+	return p, nil
+}
 
 // AblationDenyResponses (ABL1) quantifies the paper's explanation for
 // the deny-vs-allow doubling: allowed flood packets elicit victim
@@ -12,19 +24,17 @@ import (
 // a fixed allowed flood with responses on and off.
 func AblationDenyResponses(cfg Config) (*Table, error) {
 	const rate = 9000
-	run := func(suppress bool) (core.BandwidthPoint, error) {
-		return core.RunBandwidth(core.Scenario{
-			Device: core.DeviceEFW, Depth: 1,
-			FloodRatePPS: rate, FloodAllowed: true,
-			SuppressFloodResponses: suppress,
-			Duration:               cfg.bandwidthDuration(), Seed: cfg.Seed,
-		})
+	run := func(suppress bool) func() (core.BandwidthPoint, error) {
+		return func() (core.BandwidthPoint, error) {
+			return runAccountedBandwidth(cfg, core.Scenario{
+				Device: core.DeviceEFW, Depth: 1,
+				FloodRatePPS: rate, FloodAllowed: true,
+				SuppressFloodResponses: suppress,
+				Duration:               cfg.bandwidthDuration(), Seed: cfg.Seed,
+			})
+		}
 	}
-	with, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	without, err := run(true)
+	points, err := runner.Funcs(cfg.pool(), run(false), run(true))
 	if err != nil {
 		return nil, err
 	}
@@ -32,8 +42,8 @@ func AblationDenyResponses(cfg Config) (*Table, error) {
 		Title:   "Ablation ABL1: victim responses double the card's flood load (EFW, 1 rule, 9,000 pps allowed flood)",
 		Columns: []string{"Victim responses", "Available bandwidth (Mbps)"},
 		Rows: [][]string{
-			{"enabled (real stacks)", fmt.Sprintf("%.1f", with.Mbps())},
-			{"suppressed", fmt.Sprintf("%.1f", without.Mbps())},
+			{"enabled (real stacks)", fmt.Sprintf("%.1f", points[0].Mbps())},
+			{"suppressed", fmt.Sprintf("%.1f", points[1].Mbps())},
 		},
 	}, nil
 }
@@ -43,33 +53,38 @@ func AblationDenyResponses(cfg Config) (*Table, error) {
 // VPGs above the action pair are nearly free. Eager decryption would
 // make them expensive.
 func AblationVPGLazyDecrypt(cfg Config) (*Table, error) {
-	t := &Table{
-		Title:   "Ablation ABL2: lazy vs eager VPG decryption (bandwidth, Mbps)",
-		Columns: []string{"VPGs before action", "Lazy (real ADF)", "Eager"},
-	}
 	depths := []int{1, 4}
 	if !cfg.Quick {
 		depths = []int{1, 2, 3, 4}
 	}
+	type task struct {
+		depth int
+		eager bool
+	}
+	var tasks []task
 	for _, d := range depths {
-		lazy, err := core.RunBandwidth(core.Scenario{
-			Device: core.DeviceADFVPG, Depth: d,
-			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+		tasks = append(tasks, task{depth: d}, task{depth: d, eager: true})
+	}
+	points, err := runner.Map(cfg.pool(), len(tasks), func(i int) (core.BandwidthPoint, error) {
+		return runAccountedBandwidth(cfg, core.Scenario{
+			Device: core.DeviceADFVPG, Depth: tasks[i].depth,
+			EagerVPGDecrypt: tasks[i].eager,
+			Duration:        cfg.bandwidthDuration(), Seed: cfg.Seed,
 		})
-		if err != nil {
-			return nil, err
-		}
-		eager, err := core.RunBandwidth(core.Scenario{
-			Device: core.DeviceADFVPG, Depth: d, EagerVPGDecrypt: true,
-			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Ablation ABL2: lazy vs eager VPG decryption (bandwidth, Mbps)",
+		Columns: []string{"VPGs before action", "Lazy (real ADF)", "Eager"},
+	}
+	for i, d := range depths {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(d),
-			fmt.Sprintf("%.1f", lazy.Mbps()),
-			fmt.Sprintf("%.1f", eager.Mbps()),
+			fmt.Sprintf("%.1f", points[2*i].Mbps()),
+			fmt.Sprintf("%.1f", points[2*i+1].Mbps()),
 		})
 	}
 	return t, nil
@@ -78,23 +93,25 @@ func AblationVPGLazyDecrypt(cfg Config) (*Table, error) {
 // AblationTrailingRules (ABL3) validates the paper's §3 observation that
 // rules after the action rule do not affect performance.
 func AblationTrailingRules(cfg Config) (*Table, error) {
-	t := &Table{
-		Title:   "Ablation ABL3: rules after the action rule are free (EFW, action at rule 32)",
-		Columns: []string{"Trailing rules", "Available bandwidth (Mbps)"},
-	}
 	trailing := []int{0, 32}
 	if !cfg.Quick {
 		trailing = []int{0, 8, 16, 32}
 	}
-	for _, n := range trailing {
-		p, err := core.RunBandwidth(core.Scenario{
-			Device: core.DeviceEFW, Depth: 32, TrailingRules: n,
+	points, err := runner.Map(cfg.pool(), len(trailing), func(i int) (core.BandwidthPoint, error) {
+		return runAccountedBandwidth(cfg, core.Scenario{
+			Device: core.DeviceEFW, Depth: 32, TrailingRules: trailing[i],
 			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprintf("%.1f", p.Mbps())})
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Ablation ABL3: rules after the action rule are free (EFW, action at rule 32)",
+		Columns: []string{"Trailing rules", "Available bandwidth (Mbps)"},
+	}
+	for i, n := range trailing {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprintf("%.1f", points[i].Mbps())})
 	}
 	return t, nil
 }

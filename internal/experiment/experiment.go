@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"barbican/internal/runner"
 )
 
 // Point is one (x, y) measurement of a series.
@@ -140,6 +142,24 @@ type Config struct {
 	// SampleEvery is the flight-recorder tick in virtual time; zero
 	// uses obs.DefaultSampleEvery.
 	SampleEvery time.Duration
+	// Parallel is the number of experiment points measured concurrently;
+	// zero means runtime.GOMAXPROCS(0) and 1 runs points serially on the
+	// calling goroutine. Every point owns a private simulation kernel and
+	// results are reassembled in declaration order, so output is
+	// byte-identical at any worker count.
+	Parallel int
+	// Account, when non-nil, accumulates point counts and sim/wall time
+	// across every simulation the experiment runs.
+	Account *Accounting
+}
+
+// pool returns the executor pool the configuration selects.
+func (c Config) pool() runner.Pool { return runner.Pool{Workers: c.Parallel} }
+
+// account records one completed point's cost (or several, for searches
+// that run many probes per point) when accounting is enabled.
+func (c Config) account(points int, simSeconds float64, wallBusy time.Duration) {
+	c.Account.Add(points, simSeconds, wallBusy)
 }
 
 func (c Config) bandwidthDuration() time.Duration {

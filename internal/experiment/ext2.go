@@ -4,18 +4,54 @@ import (
 	"fmt"
 
 	"barbican/internal/core"
+	"barbican/internal/runner"
 )
 
 // ExtensionHTTPUnderFlood (EXT2) combines Table 1 and Figure 3(a): what
 // happens to an interactive service behind the card while an attack is
 // in progress? The paper measures raw bandwidth under flood and web
-// performance separately; a deployer wants the cross product.
+// performance separately; a deployer wants the cross product. Every
+// (rate, device) cell is one independent HTTP load run and fans out
+// over the executor.
 func ExtensionHTTPUnderFlood(cfg Config) (*Table, error) {
 	rates := []float64{0, 2000, 4000, 6000}
 	if cfg.Quick {
 		rates = []float64{0, 4000}
 	}
 	devices := []core.Device{core.DeviceStandard, core.DeviceEFW}
+
+	type task struct {
+		rate  float64
+		dev   core.Device
+		depth int
+	}
+	var tasks []task
+	for _, rate := range rates {
+		for _, dev := range devices {
+			depth := 64
+			if dev == core.DeviceStandard {
+				depth = 0
+			}
+			tasks = append(tasks, task{rate: rate, dev: dev, depth: depth})
+		}
+	}
+
+	points, err := runner.Map(cfg.pool(), len(tasks), func(i int) (core.HTTPPoint, error) {
+		t := tasks[i]
+		p, err := core.RunHTTP(core.Scenario{
+			Device: t.dev, Depth: t.depth,
+			FloodRatePPS: t.rate, FloodAllowed: true,
+			Duration: cfg.httpDuration(), Seed: cfg.Seed,
+		})
+		if err != nil {
+			return core.HTTPPoint{}, err
+		}
+		cfg.account(1, p.SimSeconds, p.WallBusy)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		Title:   "Extension EXT2: web-server performance during a flood (64-rule policy, flood allowed)",
@@ -24,22 +60,10 @@ func ExtensionHTTPUnderFlood(cfg Config) (*Table, error) {
 	for _, d := range devices {
 		t.Columns = append(t.Columns, d.String()+" fetches/s", d.String()+" ms/connect")
 	}
-
-	for _, rate := range rates {
+	for ri, rate := range rates {
 		row := []string{fmt.Sprintf("%.0f", rate)}
-		for _, dev := range devices {
-			depth := 64
-			if dev == core.DeviceStandard {
-				depth = 0
-			}
-			p, err := core.RunHTTP(core.Scenario{
-				Device: dev, Depth: depth,
-				FloodRatePPS: rate, FloodAllowed: true,
-				Duration: cfg.httpDuration(), Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for di := range devices {
+			p := points[ri*len(devices)+di]
 			row = append(row,
 				fmt.Sprintf("%.1f", p.Load.FetchesPerSec),
 				fmt.Sprintf("%.2f", p.Load.ConnectMs.Mean()))

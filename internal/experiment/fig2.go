@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"barbican/internal/core"
+	"barbican/internal/runner"
 )
 
 // Fig2Depths are the rule-set depths of Figure 2's x axis.
@@ -13,7 +14,9 @@ var Fig2Depths = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
 var Fig2VPGDepths = []int{1, 2, 3, 4}
 
 // Fig2 reproduces Figure 2: available bandwidth as rules are added to
-// the rule-set, for the EFW, ADF, ADF with VPGs, and iptables.
+// the rule-set, for the EFW, ADF, ADF with VPGs, and iptables. Every
+// (device, depth) point is independent, so the sweep fans out over the
+// executor; points land back in their series in declaration order.
 func Fig2(cfg Config) (*Figure, error) {
 	depths := Fig2Depths
 	vpgDepths := Fig2VPGDepths
@@ -22,39 +25,51 @@ func Fig2(cfg Config) (*Figure, error) {
 		vpgDepths = []int{1, 4}
 	}
 
+	devs := []core.Device{core.DeviceEFW, core.DeviceADF, core.DeviceIPTables}
+	type task struct {
+		series int
+		dev    core.Device
+		depth  int
+	}
+	var tasks []task
+	for si, dev := range devs {
+		for _, d := range depths {
+			tasks = append(tasks, task{series: si, dev: dev, depth: d})
+		}
+	}
+	for _, d := range vpgDepths {
+		tasks = append(tasks, task{series: len(devs), dev: core.DeviceADFVPG, depth: d})
+	}
+
+	points, err := runner.Map(cfg.pool(), len(tasks), func(i int) (Point, error) {
+		t := tasks[i]
+		label := fmt.Sprintf("%s_depth-%d", t.dev, t.depth)
+		p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
+			Device: t.dev, Depth: t.depth,
+			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		cfg.account(1, p.SimSeconds, p.WallBusy)
+		return Point{X: float64(t.depth), Y: p.Mbps()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	fig := &Figure{
 		Title:  "Figure 2: Available Bandwidth as Rules Are Added to the Rule-Set",
 		XLabel: "rules traversed",
 		YLabel: "available bandwidth (Mbps)",
 	}
-	for _, dev := range []core.Device{core.DeviceEFW, core.DeviceADF, core.DeviceIPTables} {
-		s := Series{Label: dev.String()}
-		for _, d := range depths {
-			label := fmt.Sprintf("%s_depth-%d", dev, d)
-			p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
-				Device: dev, Depth: d,
-				Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: float64(d), Y: p.Mbps()})
-		}
-		fig.Series = append(fig.Series, s)
+	for _, dev := range devs {
+		fig.Series = append(fig.Series, Series{Label: dev.String()})
 	}
-
-	vs := Series{Label: core.DeviceADFVPG.String()}
-	for _, d := range vpgDepths {
-		label := fmt.Sprintf("%s_depth-%d", core.DeviceADFVPG, d)
-		p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
-			Device: core.DeviceADFVPG, Depth: d,
-			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		vs.Points = append(vs.Points, Point{X: float64(d), Y: p.Mbps()})
+	fig.Series = append(fig.Series, Series{Label: core.DeviceADFVPG.String()})
+	for i, t := range tasks {
+		s := &fig.Series[t.series]
+		s.Points = append(s.Points, points[i])
 	}
-	fig.Series = append(fig.Series, vs)
 	return fig, nil
 }

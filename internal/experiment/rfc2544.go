@@ -7,6 +7,7 @@ import (
 	"barbican/internal/fw"
 	"barbican/internal/link"
 	"barbican/internal/measure"
+	"barbican/internal/runner"
 	"barbican/internal/sim"
 	"barbican/internal/stack"
 )
@@ -18,6 +19,13 @@ import (
 // the paper's small-frame argument quantitative — a firewall that
 // sustains 100 Mbps of 1518-byte frames can still be far below the
 // medium's small-frame rate.
+//
+// Each device column is one executor task; within a column the frame
+// sizes run sequentially so each size's binary search warm-starts from
+// the neighboring size's result (scaled by the size ratio, since a
+// card's ceiling is roughly a fixed packet rate). The warm-start chain
+// stays inside one task, so trial sequences are identical at any worker
+// count.
 func AppendixRFC2544(cfg Config) (*Table, error) {
 	sizes := measure.RFC2544FrameSizes
 	if cfg.Quick {
@@ -38,6 +46,31 @@ func AppendixRFC2544(cfg Config) (*Table, error) {
 		columns = columns[:3:3]
 	}
 
+	results, err := runner.Map(cfg.pool(), len(columns), func(ci int) ([]measure.ThroughputResult, error) {
+		col := columns[ci]
+		out := make([]measure.ThroughputResult, len(sizes))
+		hint, prevSize := 0.0, 0
+		for si, size := range sizes {
+			scaled := 0.0
+			if hint > 0 && prevSize > 0 {
+				// A device ceiling is ~constant in packets/s, a medium
+				// ceiling scales with frame size; scale by size ratio and
+				// let the gallop correct the difference either way.
+				scaled = hint * float64(prevSize) / float64(size)
+			}
+			res, err := rfc2544Point(cfg, col.device, col.depth, size, scaled)
+			if err != nil {
+				return nil, fmt.Errorf("rfc2544 %s %d-byte: %w", col.name, size, err)
+			}
+			out[si] = res
+			hint, prevSize = res.FramesPerSec, size
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		Title:   "Appendix APX1: RFC 2544 zero-loss throughput (frames/s) by frame size",
 		Columns: []string{"Frame size"},
@@ -45,14 +78,10 @@ func AppendixRFC2544(cfg Config) (*Table, error) {
 	for _, c := range columns {
 		t.Columns = append(t.Columns, c.name)
 	}
-
-	for _, size := range sizes {
+	for si, size := range sizes {
 		row := []string{fmt.Sprint(size)}
-		for _, col := range columns {
-			res, err := rfc2544Point(cfg, col.device, col.depth, size)
-			if err != nil {
-				return nil, fmt.Errorf("rfc2544 %s %d-byte: %w", col.name, size, err)
-			}
+		for ci := range columns {
+			res := results[ci][si]
 			cell := fmt.Sprintf("%.0f", res.FramesPerSec)
 			if res.LineRateLimited {
 				cell += "*"
@@ -65,11 +94,12 @@ func AppendixRFC2544(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func rfc2544Point(cfg Config, device core.Device, depth int, frameSize int) (measure.ThroughputResult, error) {
+func rfc2544Point(cfg Config, device core.Device, depth int, frameSize int, hint float64) (measure.ThroughputResult, error) {
 	// Trials must be long enough that a sustained over-capacity rate
 	// overruns the card's 128-frame ring and shows up as loss; the
 	// ThroughputConfig default (2 s) is the calibrated minimum.
 	tcfg := measure.ThroughputConfig{FrameSize: frameSize}
+	var kernels []*sim.Kernel
 	newPair := func() (*sim.Kernel, *stack.Host, *stack.Host, error) {
 		tb, err := core.NewTestbed(core.TestbedOptions{TargetDevice: device, Seed: cfg.Seed})
 		if err != nil {
@@ -82,10 +112,15 @@ func rfc2544Point(cfg Config, device core.Device, depth int, frameSize int) (mea
 			}
 			tb.InstallPolicy(tb.Target, rs)
 		}
+		kernels = append(kernels, tb.Kernel)
 		return tb.Kernel, tb.Client, tb.Target, nil
 	}
 	// Ethernet payload = frame minus header+FCS; the medium's maximum
 	// frame rate for this size bounds the search.
 	maxRate := link.MaxFrameRate(frameSize-18, link.Rate100Mbps)
-	return measure.ZeroLossThroughput(tcfg, maxRate, measure.HostThroughputTrial(tcfg, newPair))
+	res, err := measure.ZeroLossThroughputFrom(tcfg, maxRate, hint, measure.HostThroughputTrial(tcfg, newPair))
+	for _, k := range kernels {
+		cfg.account(1, k.Now().Seconds(), k.WallBusy())
+	}
+	return res, err
 }

@@ -15,7 +15,7 @@ import (
 
 func rfcPoint(t *testing.T, device core.Device, depth, frameSize int) measure.ThroughputResult {
 	t.Helper()
-	res, err := rfc2544Point(Config{Quick: true}, device, depth, frameSize)
+	res, err := rfc2544Point(Config{Quick: true}, device, depth, frameSize, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

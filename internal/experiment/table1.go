@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"barbican/internal/core"
+	"barbican/internal/runner"
 )
 
 // Table1Depths are the standard-rule depths of Table 1's columns.
@@ -14,7 +15,8 @@ var Table1VPGDepths = []int{1, 2, 3, 4}
 
 // Table1 reproduces Table 1: HTTP performance of an Apache-style
 // webserver protected by an ADF, against a standard NIC baseline, with
-// standard rules at increasing depths and with VPG rules.
+// standard rules at increasing depths and with VPG rules. Each column
+// is one independent HTTP load run and fans out over the executor.
 func Table1(cfg Config) (*Table, error) {
 	depths := Table1Depths
 	vpgDepths := Table1VPGDepths
@@ -23,52 +25,49 @@ func Table1(cfg Config) (*Table, error) {
 		vpgDepths = []int{1}
 	}
 
-	type column struct {
+	type task struct {
 		name  string
-		point core.HTTPPoint
+		dev   core.Device
+		depth int
 	}
-	var cols []column
+	tasks := []task{{name: "Standard NIC", dev: core.DeviceStandard, depth: 0}}
+	for _, d := range depths {
+		tasks = append(tasks, task{name: fmt.Sprintf("ADF %d", d), dev: core.DeviceADF, depth: d})
+	}
+	for _, v := range vpgDepths {
+		tasks = append(tasks, task{name: fmt.Sprintf("VPG %d", v), dev: core.DeviceADFVPG, depth: v})
+	}
 
-	run := func(name string, dev core.Device, depth int) error {
+	points, err := runner.Map(cfg.pool(), len(tasks), func(i int) (core.HTTPPoint, error) {
+		t := tasks[i]
 		p, err := core.RunHTTP(core.Scenario{
-			Device: dev, Depth: depth,
+			Device: t.dev, Depth: t.depth,
 			Duration: cfg.httpDuration(), Seed: cfg.Seed,
 		})
 		if err != nil {
-			return fmt.Errorf("table1 %s: %w", name, err)
+			return core.HTTPPoint{}, fmt.Errorf("table1 %s: %w", t.name, err)
 		}
-		cols = append(cols, column{name: name, point: p})
-		return nil
-	}
-
-	if err := run("Standard NIC", core.DeviceStandard, 0); err != nil {
+		cfg.account(1, p.SimSeconds, p.WallBusy)
+		return p, nil
+	})
+	if err != nil {
 		return nil, err
-	}
-	for _, d := range depths {
-		if err := run(fmt.Sprintf("ADF %d", d), core.DeviceADF, d); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range vpgDepths {
-		if err := run(fmt.Sprintf("VPG %d", v), core.DeviceADFVPG, v); err != nil {
-			return nil, err
-		}
 	}
 
 	t := &Table{
 		Title:   "Table 1: HTTP Performance of Apache Webserver Protected by an ADF",
 		Columns: []string{"Experiment"},
 	}
-	for _, c := range cols {
+	for _, c := range tasks {
 		t.Columns = append(t.Columns, c.name)
 	}
 	fetches := []string{"HTTP Fetches/s"}
 	connect := []string{"ms/connect"}
 	first := []string{"ms/first-response"}
-	for _, c := range cols {
-		fetches = append(fetches, fmt.Sprintf("%.1f", c.point.Load.FetchesPerSec))
-		connect = append(connect, fmt.Sprintf("%.2f", c.point.Load.ConnectMs.Mean()))
-		first = append(first, fmt.Sprintf("%.2f", c.point.Load.FirstResponseMs.Mean()))
+	for _, p := range points {
+		fetches = append(fetches, fmt.Sprintf("%.1f", p.Load.FetchesPerSec))
+		connect = append(connect, fmt.Sprintf("%.2f", p.Load.ConnectMs.Mean()))
+		first = append(first, fmt.Sprintf("%.2f", p.Load.FirstResponseMs.Mean()))
 	}
 	t.Rows = [][]string{fetches, connect, first}
 	return t, nil

@@ -6,6 +6,7 @@ import (
 
 	"barbican/internal/core"
 	"barbican/internal/obs"
+	"barbican/internal/runner"
 )
 
 // FloodTimelineRate is the flood rate of the timeline experiment — the
@@ -19,7 +20,9 @@ const FloodTimelineRate = 12500
 // for the quick variant, off again before the end). The instantaneous
 // goodput and target-card drop-rate series come straight from the
 // flight recorder; with Config.MetricsDir set the full per-run
-// telemetry is written alongside.
+// telemetry is written alongside. Each device's run is one executor
+// task (every run owns a private kernel and recorder, and artifact
+// files are named per device, so tasks never contend).
 func FloodTimeline(cfg Config) (*Figure, error) {
 	duration := 4 * cfg.bandwidthDuration()
 	floodStart := duration / 4
@@ -36,7 +39,9 @@ func FloodTimeline(cfg Config) (*Figure, error) {
 	if !cfg.Quick {
 		devices = []core.Device{core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF}
 	}
-	for _, dev := range devices {
+
+	pairs, err := runner.Map(cfg.pool(), len(devices), func(di int) ([2]Series, error) {
+		dev := devices[di]
 		depth := 1
 		if dev == core.DeviceStandard {
 			depth = 0
@@ -46,43 +51,48 @@ func FloodTimeline(cfg Config) (*Figure, error) {
 			FloodRatePPS: FloodTimelineRate, FloodAllowed: true,
 			Duration: duration, Seed: cfg.Seed,
 		}
-		_, inst, err := core.RunFloodTimeline(s, core.TimelineOptions{
+		p, inst, err := core.RunFloodTimeline(s, core.TimelineOptions{
 			SampleEvery: cfg.SampleEvery,
 			FloodStart:  floodStart,
 			FloodStop:   floodStop,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("timeline %v: %w", dev, err)
+			return [2]Series{}, fmt.Errorf("timeline %v: %w", dev, err)
 		}
+		cfg.account(1, p.SimSeconds, p.WallBusy)
 
 		goodput := Series{Label: dev.String() + " Mbps"}
 		if sd, ok := inst.Recorder.Series(`iperf_rx_bytes_total{proto="tcp"}`); ok {
-			for _, p := range sd.Rate() {
+			for _, pt := range sd.Rate() {
 				goodput.Points = append(goodput.Points, Point{
-					X: roundTo(p.T.Seconds(), 3),
-					Y: p.V * 8 / 1e6,
+					X: roundTo(pt.T.Seconds(), 3),
+					Y: pt.V * 8 / 1e6,
 				})
 			}
 		}
-		fig.Series = append(fig.Series, goodput)
-
 		drops := Series{Label: dev.String() + " drops"}
 		if sd, ok := inst.Recorder.Series(`nic_rx_overload_drops_total{host="target"}`); ok {
-			for _, p := range sd.Rate() {
+			for _, pt := range sd.Rate() {
 				drops.Points = append(drops.Points, Point{
-					X: roundTo(p.T.Seconds(), 3),
-					Y: p.V / 1000,
+					X: roundTo(pt.T.Seconds(), 3),
+					Y: pt.V / 1000,
 				})
 			}
 		}
-		fig.Series = append(fig.Series, drops)
 
 		if cfg.MetricsDir != "" {
 			dir := filepath.Join(cfg.MetricsDir, "timeline")
 			if _, err := inst.WriteArtifacts(dir, obs.SanitizeName(dev.String())); err != nil {
-				return nil, err
+				return [2]Series{}, err
 			}
 		}
+		return [2]Series{goodput, drops}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range pairs {
+		fig.Series = append(fig.Series, pair[0], pair[1])
 	}
 	return fig, nil
 }

@@ -26,6 +26,7 @@ type Verdict struct {
 // RuleSet is an ordered, first-match packet filter policy.
 type RuleSet struct {
 	rules   []Rule
+	view    []Rule // cached copy handed out by Rules; rules are immutable post-construction
 	def     Action
 	matches []uint64 // per-rule match counts
 	defHits uint64
@@ -70,8 +71,27 @@ func (rs *RuleSet) Default() Action { return rs.def }
 // Rule returns the 1-based i'th rule.
 func (rs *RuleSet) Rule(i int) *Rule { return &rs.rules[i-1] }
 
-// Rules returns a copy of the rules in order.
-func (rs *RuleSet) Rules() []Rule { return append([]Rule(nil), rs.rules...) }
+// Rules returns the rules in order. The returned slice is cached — a
+// rule-set's rules are immutable after construction, so repeated calls
+// (markdown/analysis render loops) share one copy instead of allocating
+// a defensive copy each time. Callers must not modify it.
+func (rs *RuleSet) Rules() []Rule {
+	if rs.view == nil {
+		rs.view = append([]Rule(nil), rs.rules...)
+	}
+	return rs.view
+}
+
+// Each calls fn for each rule in order with its 1-based index, stopping
+// early if fn returns false. It is the allocation-free alternative to
+// Rules for iteration.
+func (rs *RuleSet) Each(fn func(i int, r *Rule) bool) {
+	for i := range rs.rules {
+		if !fn(i+1, &rs.rules[i]) {
+			return
+		}
+	}
+}
 
 // Eval evaluates a packet summary traveling in direction dir and returns
 // the verdict of the first matching rule (or the default action).

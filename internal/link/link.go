@@ -69,6 +69,11 @@ type direction struct {
 	queued    int
 	stats     Stats
 	dst       *Endpoint
+
+	// deliverFn is the precomputed arrival callback, scheduled through
+	// the kernel's pooled-event path so each frame in flight costs no
+	// allocation beyond the frame itself.
+	deliverFn func(any)
 }
 
 // New creates a full-duplex link on the kernel's clock and returns its
@@ -79,7 +84,23 @@ func New(k *sim.Kernel, cfg Config) (*Endpoint, *Endpoint) {
 	b := &Endpoint{dir: &direction{cfg: cfg, kernel: k}}
 	a.peer, b.peer = b, a
 	a.dir.dst, b.dir.dst = b, a
+	a.dir.deliverFn = a.dir.deliver
+	b.dir.deliverFn = b.dir.deliver
 	return a, b
+}
+
+// deliver completes one frame's flight: it frees the transmit slot and
+// hands the frame to the destination endpoint's tap and receiver.
+func (d *direction) deliver(x any) {
+	f := x.(*packet.Frame)
+	d.queued--
+	dst := d.dst
+	if dst.tap != nil {
+		dst.tap(f, false)
+	}
+	if dst.recv != nil {
+		dst.recv(f)
+	}
 }
 
 // Attach registers the frame handler invoked when a frame arrives at this
@@ -119,16 +140,7 @@ func (e *Endpoint) Send(f *packet.Frame) bool {
 	if e.tap != nil {
 		e.tap(f, true)
 	}
-	dst := d.dst
-	d.kernel.After(done+d.cfg.Propagation-now, func() {
-		d.queued--
-		if dst.tap != nil {
-			dst.tap(f, false)
-		}
-		if dst.recv != nil {
-			dst.recv(f)
-		}
-	})
+	d.kernel.AfterCall(done+d.cfg.Propagation-now, d.deliverFn, f)
 	return true
 }
 

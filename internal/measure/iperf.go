@@ -117,8 +117,8 @@ func RunUDPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (Ip
 			obs.KindCounter, func() float64 { return float64(sent) },
 			obs.L("proto", "udp"))
 	}
-	var send func()
-	send = func() {
+	var send func(any)
+	send = func(any) {
 		if k.Now()-start >= cfg.Duration {
 			return
 		}
@@ -126,9 +126,9 @@ func RunUDPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (Ip
 		sock.SendTo(server.IP(), cfg.Port, payload)
 		// Deterministic ±5% jitter avoids phase-locking with other
 		// periodic senders sharing the path.
-		k.After(time.Duration(float64(interval)*(0.95+0.1*k.Rand().Float64())), send)
+		k.AfterCall(time.Duration(float64(interval)*(0.95+0.1*k.Rand().Float64())), send, nil)
 	}
-	send()
+	send(nil)
 
 	if err := k.RunUntil(start + cfg.Duration + cfg.Drain); err != nil {
 		return IperfResult{}, err
@@ -174,9 +174,10 @@ func RunTCPIperf(k *sim.Kernel, client, server *stack.Host, cfg IperfConfig) (Ip
 	}
 	start := k.Now()
 	const chunk = 64 << 10
+	chunkBuf := make([]byte, chunk) // Write copies into the conn buffer, so one chunk is reusable
 	fill := func() {
 		for conn.Buffered() < 2*chunk && k.Now()-start < cfg.Duration {
-			if err := conn.Write(make([]byte, chunk)); err != nil {
+			if err := conn.Write(chunkBuf); err != nil {
 				return
 			}
 		}

@@ -86,6 +86,16 @@ type trialFn func(rate float64) (sent, received uint64, err error)
 // client/server pair per trial (trials must be independent); it is
 // invoked once per trial.
 func ZeroLossThroughput(cfg ThroughputConfig, maxRate float64, trial trialFn) (ThroughputResult, error) {
+	return ZeroLossThroughputFrom(cfg, maxRate, 0, trial)
+}
+
+// ZeroLossThroughputFrom is ZeroLossThroughput warm-started from a
+// neighboring result. A hint in (0, maxRate) — typically the passing
+// rate found at the adjacent frame size, scaled by the size ratio —
+// seeds the bisection bracket by galloping outward from the hint, which
+// cuts trial count when neighboring sizes saturate at nearby rates.
+// hint <= 0 runs the cold search.
+func ZeroLossThroughputFrom(cfg ThroughputConfig, maxRate, hint float64, trial trialFn) (ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	res := ThroughputResult{FrameSize: cfg.FrameSize}
 
@@ -102,17 +112,71 @@ func ZeroLossThroughput(cfg ThroughputConfig, maxRate float64, trial trialFn) (T
 		return loss <= cfg.LossTolerance, nil
 	}
 
-	ok, err := passes(maxRate)
-	if err != nil {
-		return res, err
+	var lo, hi float64
+	if hint > 0 && hint < maxRate {
+		// Warm start: establish the lo-passes / hi-fails bracket by
+		// galloping from the hint, doubling the step until the outcome
+		// flips or a cold bound is reached.
+		ok, err := passes(hint)
+		if err != nil {
+			return res, err
+		}
+		step := maxRate / 256
+		if ok {
+			lo = hint
+			for {
+				hi = lo + step
+				if hi >= maxRate {
+					hi = maxRate
+				}
+				ok2, err := passes(hi)
+				if err != nil {
+					return res, err
+				}
+				if !ok2 {
+					break
+				}
+				lo = hi
+				if hi == maxRate {
+					res.FramesPerSec = maxRate
+					res.LineRateLimited = true
+					res.Mbps = maxRate * float64(cfg.FrameSize) * 8 / 1e6
+					return res, nil
+				}
+				step *= 2
+			}
+		} else {
+			hi = hint
+			for {
+				lo = hi - step
+				if lo <= 0 {
+					lo = 0
+					break // lo passes vacuously
+				}
+				ok2, err := passes(lo)
+				if err != nil {
+					return res, err
+				}
+				if ok2 {
+					break
+				}
+				hi = lo
+				step *= 2
+			}
+		}
+	} else {
+		ok, err := passes(maxRate)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.FramesPerSec = maxRate
+			res.LineRateLimited = true
+			res.Mbps = maxRate * float64(cfg.FrameSize) * 8 / 1e6
+			return res, nil
+		}
+		lo, hi = 0.0, maxRate // invariant: lo passes (vacuously), hi fails
 	}
-	if ok {
-		res.FramesPerSec = maxRate
-		res.LineRateLimited = true
-		res.Mbps = maxRate * float64(cfg.FrameSize) * 8 / 1e6
-		return res, nil
-	}
-	lo, hi := 0.0, maxRate // invariant: lo passes (vacuously), hi fails
 	for hi-lo > maxRate/256 {
 		mid := (lo + hi) / 2
 		ok, err := passes(mid)

@@ -61,6 +61,13 @@ type NIC struct {
 	deniedInWin int
 	ipID        uint16
 
+	// Precomputed hot-path callbacks and the pending-ingress freelist:
+	// together with the kernel's pooled events they make the steady-state
+	// per-packet paths allocation-free.
+	txFn        func(any)
+	finishFn    func(any)
+	ingressFree []*pendingIngress
+
 	mgmtPeer packet.IP
 	mgmtPort uint16
 
@@ -82,8 +89,31 @@ func New(k *sim.Kernel, mac packet.MAC, profile Profile, ep *link.Endpoint) *NIC
 		sealers: make(map[string]*vpg.Sealer),
 		replay:  make(map[replayKey]*vpg.ReplayWindow),
 	}
+	n.txFn = func(x any) {
+		if !n.locked {
+			n.ep.Send(x.(*packet.Frame))
+		}
+	}
+	n.finishFn = n.finishPending
 	ep.Attach(n.handleFrame)
 	return n
+}
+
+// pendingIngress carries one admitted ingress frame from policy
+// evaluation to processor completion. Instances are recycled through
+// the card's freelist.
+type pendingIngress struct {
+	f       *packet.Frame
+	s       packet.Summary
+	verdict fw.Verdict
+}
+
+func (n *NIC) finishPending(x any) {
+	pi := x.(*pendingIngress)
+	f, s, verdict := pi.f, pi.s, pi.verdict
+	pi.f, pi.verdict = nil, fw.Verdict{}
+	n.ingressFree = append(n.ingressFree, pi)
+	n.finishIngress(f, s, verdict)
 }
 
 // MAC returns the card's hardware address.
@@ -176,8 +206,9 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		n.stats.TxLockedDrops++
 		return false
 	}
-	frame := &packet.Frame{Dst: dstMAC, Src: n.mac, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
-	s, err := packet.Summarize(frame)
+	// Summarize the datagram directly: it is wire-identical to the frame
+	// payload marshaled below, and skips a parse of bytes we just built.
+	s, err := packet.SummarizeDatagram(d)
 	if err != nil {
 		n.stats.TxDenied++
 		return false
@@ -205,12 +236,15 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		return false
 	}
 
+	var frame *packet.Frame
 	if sealGroup != "" {
 		sealed, ok := n.seal(sealGroup, d, dstMAC)
 		if !ok {
 			return false
 		}
 		frame = sealed
+	} else {
+		frame = &packet.Frame{Dst: dstMAC, Src: n.mac, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
 	}
 	if len(frame.Payload) > packet.MaxPayload {
 		n.stats.TxOversize++
@@ -218,11 +252,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	}
 	n.stats.TxAllowed++
 	// The frame leaves the card once the embedded processor finishes it.
-	n.kernel.At(completeAt, func() {
-		if !n.locked {
-			n.ep.Send(frame)
-		}
-	})
+	n.kernel.AtCall(completeAt, n.txFn, frame)
 	return true
 }
 
@@ -242,11 +272,7 @@ func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 		return false
 	}
 	n.stats.TxAllowed++
-	n.kernel.At(completeAt, func() {
-		if !n.locked {
-			n.ep.Send(f)
-		}
-	})
+	n.kernel.AtCall(completeAt, n.txFn, f)
 	return true
 }
 
@@ -331,7 +357,16 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		n.noteDenied()
 		return
 	}
-	n.kernel.At(completeAt, func() { n.finishIngress(f, s, verdict) })
+	var pi *pendingIngress
+	if k := len(n.ingressFree); k > 0 {
+		pi = n.ingressFree[k-1]
+		n.ingressFree[k-1] = nil
+		n.ingressFree = n.ingressFree[:k-1]
+	} else {
+		pi = &pendingIngress{}
+	}
+	pi.f, pi.s, pi.verdict = f, s, verdict
+	n.kernel.AtCall(completeAt, n.finishFn, pi)
 }
 
 func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdict) {

@@ -40,6 +40,10 @@ type Processor struct {
 	admitted      uint64
 	overloadDrops uint64
 	unitsDone     float64
+
+	// drainFn is the precomputed completion callback, scheduled through
+	// the kernel's pooled-event path so admitting work allocates nothing.
+	drainFn func(any)
 }
 
 // NewProcessor creates a processor. capacity <= 0 models a wire-speed
@@ -49,7 +53,13 @@ func NewProcessor(k *sim.Kernel, capacity float64, maxQueue int) *Processor {
 	if maxQueue <= 0 {
 		maxQueue = DefaultQueuePackets
 	}
-	return &Processor{kernel: k, capacity: capacity, maxQueue: maxQueue}
+	p := &Processor{kernel: k, capacity: capacity, maxQueue: maxQueue}
+	p.drainFn = func(any) {
+		if p.queued > 0 {
+			p.queued--
+		}
+	}
+	return p
 }
 
 // Admit offers work of the given cost. It returns the virtual time at
@@ -74,11 +84,7 @@ func (p *Processor) Admit(cost float64) (time.Duration, bool) {
 	p.queued++
 	p.admitted++
 	p.unitsDone += cost
-	p.kernel.At(p.busyUntil, func() {
-		if p.queued > 0 {
-			p.queued--
-		}
-	})
+	p.kernel.AtCall(p.busyUntil, p.drainFn, nil)
 	return p.busyUntil, true
 }
 

@@ -62,12 +62,34 @@ func (f *Frame) WireLen() int { return f.FrameLen() + EthernetOverhead }
 // Marshal encodes the frame header and payload (FCS is not materialized;
 // the simulated medium does not corrupt frames).
 func (f *Frame) Marshal() []byte {
-	b := make([]byte, EthernetHeaderLen+len(f.Payload))
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	binary.BigEndian.PutUint16(b[12:14], uint16(f.Type))
-	copy(b[14:], f.Payload)
+	return f.MarshalTo(make([]byte, 0, EthernetHeaderLen+len(f.Payload)))
+}
+
+// MarshalTo appends the encoded frame to b and returns the extended
+// slice. Passing a scratch buffer with sufficient capacity makes the
+// encode allocation-free.
+func (f *Frame) MarshalTo(b []byte) []byte {
+	b, off := grow(b, EthernetHeaderLen+len(f.Payload))
+	p := b[off:]
+	copy(p[0:6], f.Dst[:])
+	copy(p[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(p[12:14], uint16(f.Type))
+	copy(p[14:], f.Payload)
 	return b
+}
+
+// grow extends b by n bytes (growing capacity only when needed) and
+// returns the extended slice plus the offset of the new region.
+func grow(b []byte, n int) ([]byte, int) {
+	off := len(b)
+	if cap(b)-off < n {
+		nb := make([]byte, off+n, max(2*cap(b), off+n))
+		copy(nb, b)
+		return nb, off
+	}
+	b = b[:off+n]
+	clear(b[off:])
+	return b, off
 }
 
 // UnmarshalFrame parses an encoded Ethernet frame. The returned frame's

@@ -30,13 +30,20 @@ type ICMPMessage struct {
 
 // Marshal encodes the message with a correct checksum.
 func (m *ICMPMessage) Marshal() []byte {
-	b := make([]byte, ICMPHeaderLen+len(m.Payload))
-	b[0] = m.Type
-	b[1] = m.Code
-	binary.BigEndian.PutUint16(b[4:6], m.ID)
-	binary.BigEndian.PutUint16(b[6:8], m.Seq)
-	copy(b[ICMPHeaderLen:], m.Payload)
-	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return m.MarshalTo(make([]byte, 0, ICMPHeaderLen+len(m.Payload)))
+}
+
+// MarshalTo appends the encoded message to b and returns the extended
+// slice.
+func (m *ICMPMessage) MarshalTo(b []byte) []byte {
+	b, off := grow(b, ICMPHeaderLen+len(m.Payload))
+	p := b[off:]
+	p[0] = m.Type
+	p[1] = m.Code
+	binary.BigEndian.PutUint16(p[4:6], m.ID)
+	binary.BigEndian.PutUint16(p[6:8], m.Seq)
+	copy(p[ICMPHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(p[2:4], Checksum(p))
 	return b
 }
 

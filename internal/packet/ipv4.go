@@ -62,11 +62,18 @@ func (h *IPv4Header) IsFragment() bool { return h.MoreFrags || h.FragOffset > 0 
 
 // Marshal encodes the header with a correct checksum.
 func (h *IPv4Header) Marshal() []byte {
-	b := make([]byte, IPv4HeaderLen)
-	b[0] = 0x45 // version 4, IHL 5
-	b[1] = h.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(h.TotalLen))
-	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	return h.MarshalTo(make([]byte, 0, IPv4HeaderLen))
+}
+
+// MarshalTo appends the encoded header (with a correct checksum) to b
+// and returns the extended slice.
+func (h *IPv4Header) MarshalTo(b []byte) []byte {
+	b, off := grow(b, IPv4HeaderLen)
+	p := b[off:]
+	p[0] = 0x45 // version 4, IHL 5
+	p[1] = h.TOS
+	binary.BigEndian.PutUint16(p[2:4], uint16(h.TotalLen))
+	binary.BigEndian.PutUint16(p[4:6], h.ID)
 	flagsOff := uint16(h.FragOffset / 8)
 	if h.DontFrag {
 		flagsOff |= 0x4000
@@ -74,33 +81,45 @@ func (h *IPv4Header) Marshal() []byte {
 	if h.MoreFrags {
 		flagsOff |= 0x2000
 	}
-	binary.BigEndian.PutUint16(b[6:8], flagsOff)
-	b[8] = h.TTL
-	b[9] = uint8(h.Protocol)
-	copy(b[12:16], h.Src[:])
-	copy(b[16:20], h.Dst[:])
-	binary.BigEndian.PutUint16(b[10:12], Checksum(b))
+	binary.BigEndian.PutUint16(p[6:8], flagsOff)
+	p[8] = h.TTL
+	p[9] = uint8(h.Protocol)
+	copy(p[12:16], h.Src[:])
+	copy(p[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(p[10:12], Checksum(p[:IPv4HeaderLen]))
 	return b
 }
 
 // UnmarshalIPv4Header parses and validates an IPv4 header, returning the
 // header and the number of header bytes consumed.
 func UnmarshalIPv4Header(b []byte) (*IPv4Header, int, error) {
+	h, ihl, err := ParseIPv4Header(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &h, ihl, nil
+}
+
+// ParseIPv4Header is the by-value form of UnmarshalIPv4Header, used on
+// the per-packet filter path where the header must not escape to the
+// heap.
+func ParseIPv4Header(b []byte) (IPv4Header, int, error) {
+	var h IPv4Header
 	if len(b) < IPv4HeaderLen {
-		return nil, 0, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(b))
+		return h, 0, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(b))
 	}
 	if b[0]>>4 != 4 {
-		return nil, 0, fmt.Errorf("packet: not IPv4 (version %d)", b[0]>>4)
+		return h, 0, fmt.Errorf("packet: not IPv4 (version %d)", b[0]>>4)
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || len(b) < ihl {
-		return nil, 0, fmt.Errorf("packet: bad IHL %d", ihl)
+		return h, 0, fmt.Errorf("packet: bad IHL %d", ihl)
 	}
 	if Checksum(b[:ihl]) != 0 {
-		return nil, 0, fmt.Errorf("packet: IPv4 header checksum mismatch")
+		return h, 0, fmt.Errorf("packet: IPv4 header checksum mismatch")
 	}
 	flagsOff := binary.BigEndian.Uint16(b[6:8])
-	h := &IPv4Header{
+	h = IPv4Header{
 		TOS:        b[1],
 		TotalLen:   int(binary.BigEndian.Uint16(b[2:4])),
 		ID:         binary.BigEndian.Uint16(b[4:6]),
@@ -113,7 +132,7 @@ func UnmarshalIPv4Header(b []byte) (*IPv4Header, int, error) {
 	copy(h.Src[:], b[12:16])
 	copy(h.Dst[:], b[16:20])
 	if h.TotalLen < ihl || h.TotalLen > len(b) {
-		return nil, 0, fmt.Errorf("packet: bad total length %d (buffer %d)", h.TotalLen, len(b))
+		return IPv4Header{}, 0, fmt.Errorf("packet: bad total length %d (buffer %d)", h.TotalLen, len(b))
 	}
 	return h, ihl, nil
 }
@@ -126,10 +145,18 @@ type Datagram struct {
 
 // Marshal encodes the datagram, fixing TotalLen to match the payload.
 func (d *Datagram) Marshal() []byte {
+	return d.MarshalTo(make([]byte, 0, IPv4HeaderLen+len(d.Payload)))
+}
+
+// MarshalTo appends the encoded datagram to b (fixing TotalLen to match
+// the payload) and returns the extended slice.
+func (d *Datagram) MarshalTo(b []byte) []byte {
 	h := d.Header
 	h.TotalLen = IPv4HeaderLen + len(d.Payload)
-	b := h.Marshal()
-	return append(b, d.Payload...)
+	b = h.MarshalTo(b)
+	b, off := grow(b, len(d.Payload))
+	copy(b[off:], d.Payload)
+	return b
 }
 
 // UnmarshalDatagram parses an IPv4 datagram. The payload aliases b and is

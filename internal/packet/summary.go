@@ -50,20 +50,35 @@ func Summarize(f *Frame) (Summary, error) {
 // SummarizeIPv4 extracts the filterable 5-tuple from a raw IPv4 packet.
 func SummarizeIPv4(b []byte) (Summary, error) {
 	var s Summary
-	h, ihl, err := UnmarshalIPv4Header(b)
+	h, ihl, err := ParseIPv4Header(b)
 	if err != nil {
 		return s, err
 	}
-	s.Proto = h.Protocol
-	s.Src = h.Src
-	s.Dst = h.Dst
-	s.IPLen = h.TotalLen
-	s.Fragment = h.IsFragment()
+	return summarize(&h, h.TotalLen, b[ihl:h.TotalLen])
+}
+
+// SummarizeDatagram extracts the filterable 5-tuple straight from a
+// parsed datagram, skipping the marshal/reparse round-trip (and its
+// allocations) that Summarize over the wire bytes would cost. The
+// result is identical to summarizing the datagram's marshaled form.
+func SummarizeDatagram(d *Datagram) (Summary, error) {
+	// Marshal fixes TotalLen to the option-free header plus payload, so
+	// the wire-identical length is reconstructed the same way here.
+	return summarize(&d.Header, IPv4HeaderLen+len(d.Payload), d.Payload)
+}
+
+func summarize(h *IPv4Header, ipLen int, transport []byte) (Summary, error) {
+	s := Summary{
+		Proto:    h.Protocol,
+		Src:      h.Src,
+		Dst:      h.Dst,
+		IPLen:    ipLen,
+		Fragment: h.IsFragment(),
+	}
 	if h.FragOffset > 0 {
 		// Later fragments: no transport header to inspect.
 		return s, nil
 	}
-	transport := b[ihl:h.TotalLen]
 	switch h.Protocol {
 	case ProtoTCP:
 		if len(transport) < TCPHeaderLen {

@@ -61,16 +61,23 @@ type TCPSegment struct {
 // Marshal encodes the segment with a correct checksum computed over the
 // IPv4 pseudo-header for src and dst.
 func (s *TCPSegment) Marshal(src, dst IP) []byte {
-	b := make([]byte, TCPHeaderLen+len(s.Payload))
-	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
-	binary.BigEndian.PutUint32(b[4:8], s.Seq)
-	binary.BigEndian.PutUint32(b[8:12], s.Ack)
-	b[12] = (TCPHeaderLen / 4) << 4
-	b[13] = uint8(s.Flags)
-	binary.BigEndian.PutUint16(b[14:16], s.Window)
-	copy(b[TCPHeaderLen:], s.Payload)
-	binary.BigEndian.PutUint16(b[16:18], TransportChecksum(src, dst, ProtoTCP, b))
+	return s.MarshalTo(src, dst, make([]byte, 0, TCPHeaderLen+len(s.Payload)))
+}
+
+// MarshalTo appends the encoded segment to b and returns the extended
+// slice.
+func (s *TCPSegment) MarshalTo(src, dst IP, b []byte) []byte {
+	b, off := grow(b, TCPHeaderLen+len(s.Payload))
+	p := b[off:]
+	binary.BigEndian.PutUint16(p[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(p[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(p[4:8], s.Seq)
+	binary.BigEndian.PutUint32(p[8:12], s.Ack)
+	p[12] = (TCPHeaderLen / 4) << 4
+	p[13] = uint8(s.Flags)
+	binary.BigEndian.PutUint16(p[14:16], s.Window)
+	copy(p[TCPHeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(p[16:18], TransportChecksum(src, dst, ProtoTCP, p))
 	return b
 }
 

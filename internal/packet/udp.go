@@ -18,16 +18,23 @@ type UDPDatagram struct {
 // Marshal encodes the datagram with a correct checksum computed over the
 // IPv4 pseudo-header for src and dst.
 func (u *UDPDatagram) Marshal(src, dst IP) []byte {
-	b := make([]byte, UDPHeaderLen+len(u.Payload))
-	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
-	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
-	copy(b[UDPHeaderLen:], u.Payload)
-	sum := TransportChecksum(src, dst, ProtoUDP, b)
+	return u.MarshalTo(src, dst, make([]byte, 0, UDPHeaderLen+len(u.Payload)))
+}
+
+// MarshalTo appends the encoded datagram to b and returns the extended
+// slice.
+func (u *UDPDatagram) MarshalTo(src, dst IP, b []byte) []byte {
+	b, off := grow(b, UDPHeaderLen+len(u.Payload))
+	p := b[off:]
+	binary.BigEndian.PutUint16(p[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(p[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(p[4:6], uint16(len(p)))
+	copy(p[UDPHeaderLen:], u.Payload)
+	sum := TransportChecksum(src, dst, ProtoUDP, p)
 	if sum == 0 {
 		sum = 0xffff // RFC 768: transmitted all-ones when computed zero
 	}
-	binary.BigEndian.PutUint16(b[6:8], sum)
+	binary.BigEndian.PutUint16(p[6:8], sum)
 	return b
 }
 

@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Collector serializes per-task progress output from concurrent workers
+// so lines never interleave and always appear in task declaration
+// order. Output from the lowest unfinished task streams straight
+// through to the destination; later tasks buffer until every earlier
+// task calls Done, at which point their backlog flushes in order.
+//
+// With one worker (serial execution) every task is the live task when
+// it runs, so the collector degenerates to direct writes and output is
+// byte-identical to the parallel case.
+type Collector struct {
+	mu   sync.Mutex
+	w    io.Writer
+	n    int
+	next int
+	bufs []bytes.Buffer
+	done []bool
+}
+
+// NewCollector builds a collector for n tasks writing to w.
+func NewCollector(w io.Writer, n int) *Collector {
+	return &Collector{w: w, n: n, bufs: make([]bytes.Buffer, n), done: make([]bool, n)}
+}
+
+// Printf emits formatted output attributed to task i.
+func (c *Collector) Printf(i int, format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i == c.next {
+		fmt.Fprintf(c.w, format, args...)
+		return
+	}
+	fmt.Fprintf(&c.bufs[i], format, args...)
+}
+
+// Done marks task i complete. When the live task finishes, the
+// collector advances, flushing each newly live task's buffered backlog
+// (and skipping past tasks that already finished while buffered).
+func (c *Collector) Done(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[i] = true
+	for c.next < c.n && c.done[c.next] {
+		c.bufs[c.next].WriteTo(c.w)
+		c.next++
+		if c.next < c.n {
+			c.bufs[c.next].WriteTo(c.w)
+		}
+	}
+}

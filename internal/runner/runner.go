@@ -1,0 +1,180 @@
+// Package runner executes independent experiment points in parallel.
+//
+// Every experiment in this repository decomposes into points that share
+// nothing: each point builds its own sim.Kernel, testbed, and rule-set,
+// so points can run on separate OS threads without any synchronization
+// beyond the result hand-off. The executor here fans a task list over a
+// GOMAXPROCS-sized worker pool with work stealing (experiment points
+// have wildly uneven costs — a no-flood bandwidth point finishes an
+// order of magnitude before a minimum-flood-rate search — so static
+// partitioning would leave workers idle), then reassembles the results
+// in declaration order. Serial and parallel execution therefore produce
+// byte-identical output: the only thing parallelism changes is which
+// wall-clock instant each deterministic simulation runs at.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool sizes the worker set for Map.
+type Pool struct {
+	// Workers is the maximum number of tasks run concurrently; <= 0
+	// means runtime.GOMAXPROCS(0). 1 runs every task serially on the
+	// caller's goroutine, reproducing pre-executor behavior exactly.
+	Workers int
+}
+
+func (p Pool) workers() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Map runs fn(0) … fn(n-1) on the pool's workers and returns the
+// results in index order. Task order in the result is always the
+// declaration order 0..n-1 regardless of completion order, so callers
+// get deterministic output for deterministic tasks.
+//
+// On failure Map returns the error of the lowest-indexed failing task —
+// deterministically, for deterministic tasks: after a failure at index
+// m, tasks above m are skipped but tasks below m still run, so a
+// lower-indexed failure always surfaces over a higher-indexed one no
+// matter which worker hit its error first.
+func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	res := make([]T, n)
+	if n == 0 {
+		return res, nil
+	}
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = v
+		}
+		return res, nil
+	}
+
+	// Each worker owns a contiguous index span packed into one atomic
+	// word: the owner pops from the front, thieves CAS the tail half
+	// away. Claimed indexes never re-enter any span, so a stale steal
+	// CAS can never succeed by ABA: a repeated bit pattern would need
+	// already-claimed indexes to reappear.
+	spans := make([]span, w)
+	per, extra := n/w, n%w
+	begin := 0
+	for i := range spans {
+		end := begin + per
+		if i < extra {
+			end++
+		}
+		spans[i].v.Store(pack(uint32(begin), uint32(end)))
+		begin = end
+	}
+
+	var minFail atomic.Int64 // lowest failing index so far; n = none
+	minFail.Store(int64(n))
+	errs := make([]error, n) // each index is claimed once, so no lock
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := next(spans, self)
+				if !ok {
+					return
+				}
+				if int64(i) >= minFail.Load() {
+					continue // doomed by an earlier failure; drain without running
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						m := minFail.Load()
+						if int64(i) >= m || minFail.CompareAndSwap(m, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				res[i] = v
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if m := minFail.Load(); m < int64(n) {
+		return nil, errs[m]
+	}
+	return res, nil
+}
+
+// Funcs runs the given task functions on the pool and returns their
+// results in declaration order.
+func Funcs[T any](p Pool, fns ...func() (T, error)) ([]T, error) {
+	return Map(p, len(fns), func(i int) (T, error) { return fns[i]() })
+}
+
+// span is a half-open index range [begin, end) packed into one atomic
+// uint64 (begin in the high 32 bits) so pop and steal are single-word
+// CAS transitions.
+type span struct{ v atomic.Uint64 }
+
+func pack(b, e uint32) uint64       { return uint64(b)<<32 | uint64(e) }
+func unpack(v uint64) (b, e uint32) { return uint32(v >> 32), uint32(v) }
+
+// next claims the next task index for worker self: first from the front
+// of its own span, then — when that runs dry — by stealing the tail
+// half of the fullest victim span. Spans only ever shrink, so when a
+// full scan finds every span empty, all tasks are claimed and the
+// worker can exit.
+func next(spans []span, self int) (int, bool) {
+	for {
+		v := spans[self].v.Load()
+		b, e := unpack(v)
+		if b >= e {
+			break
+		}
+		if spans[self].v.CompareAndSwap(v, pack(b+1, e)) {
+			return int(b), true
+		}
+	}
+	for {
+		victim, best := -1, uint32(0)
+		var seen uint64
+		for j := range spans {
+			if j == self {
+				continue
+			}
+			v := spans[j].v.Load()
+			b, e := unpack(v)
+			if e-b > best {
+				victim, best, seen = j, e-b, v
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		b, e := unpack(seen)
+		take := (e - b + 1) / 2
+		mid := e - take
+		if !spans[victim].v.CompareAndSwap(seen, pack(b, mid)) {
+			continue // the span moved under us; rescan
+		}
+		// Run the first stolen index now; park the rest as our own
+		// span. Our span is empty here and no CAS succeeds on an empty
+		// span, so a plain store cannot clobber a concurrent steal.
+		spans[self].v.Store(pack(mid+1, e))
+		return int(mid), true
+	}
+}

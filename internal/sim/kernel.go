@@ -20,11 +20,16 @@ var ErrHalted = errors.New("sim: kernel halted")
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so that callers may cancel it before it fires.
 type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 when not queued
-	fired  bool
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when not queued
+	fired bool
+	// fnArg/arg carry AtCall-style callbacks. Events scheduled that way
+	// are pooled: recycled after firing and never handed to callers.
+	fnArg  func(any)
+	arg    any
+	pooled bool
 	kernel *Kernel
 }
 
@@ -66,6 +71,11 @@ type Kernel struct {
 	wallBusy  time.Duration
 	runStart  time.Time
 	running   bool
+
+	// free is the pool of recycled AtCall events. Pooled events are
+	// never returned to callers, so a recycled event cannot be the
+	// target of a stale Cancel.
+	free []*Event
 }
 
 // Option configures a Kernel.
@@ -165,6 +175,36 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// AtCall schedules fn(arg) at absolute virtual time t on a pooled,
+// uncancellable event. It is the allocation-free form of At for hot
+// per-packet callbacks: at steady state the event comes from and
+// returns to the kernel's free list, and because fn is a precomputed
+// func(any) rather than a fresh closure, a call site allocates nothing.
+func (k *Kernel) AtCall(t time.Duration, fn func(any), arg any) {
+	if t < k.now {
+		t = k.now
+	}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.fired = false
+	} else {
+		e = &Event{kernel: k, pooled: true}
+	}
+	e.at, e.seq = t, k.seq
+	e.fnArg, e.arg = fn, arg
+	k.seq++
+	heap.Push(&k.queue, e)
+}
+
+// AfterCall schedules fn(arg) d after the current virtual time on a
+// pooled event (see AtCall).
+func (k *Kernel) AfterCall(d time.Duration, fn func(any), arg any) {
+	k.AtCall(k.now+d, fn, arg)
+}
+
 // Halt stops any in-progress Run/RunUntil/RunFor after the current event
 // finishes executing.
 func (k *Kernel) Halt() { k.halted = true }
@@ -180,7 +220,17 @@ func (k *Kernel) Step() bool {
 	ev.fired = true
 	k.now = ev.at
 	k.executed++
-	ev.fn()
+	if ev.pooled {
+		// Recycle before firing: the callback may schedule again and
+		// reuse this very event, which is safe once it is off the heap
+		// and its fields are captured.
+		fn, arg := ev.fnArg, ev.arg
+		ev.fnArg, ev.arg = nil, nil
+		k.free = append(k.free, ev)
+		fn(arg)
+	} else {
+		ev.fn()
+	}
 	if k.afterStep != nil {
 		k.afterStep(k)
 	}

@@ -90,6 +90,13 @@ type Host struct {
 	reasm     *packet.Reassembler
 	arp       *arpState
 
+	// txScratch and txDatagram are reused across sends when the host
+	// resolves neighbors statically (see StaticNeighbors); with ARP a
+	// datagram may be queued past the send call, so fresh buffers are
+	// allocated instead.
+	txScratch  []byte
+	txDatagram packet.Datagram
+
 	// OnICMP, when set, observes ICMP messages addressed to this host
 	// (other than echo requests, which are answered automatically).
 	OnICMP func(src packet.IP, msg *packet.ICMPMessage)
@@ -151,6 +158,22 @@ func (h *Host) MSS() int {
 // accounting for VPG sealing overhead on this host's card.
 func (h *Host) MaxUDPPayload() int {
 	return packet.MaxPayload - packet.IPv4HeaderLen - packet.UDPHeaderLen - h.card.SealOverhead()
+}
+
+// StaticNeighbors reports whether the host resolves neighbor MACs from
+// a static table. When true the NIC consumes every transmitted datagram
+// synchronously (nothing ever queues behind ARP), so transport marshal
+// buffers may be reused across sends.
+func (h *Host) StaticNeighbors() bool { return h.resolve != nil }
+
+// scratch returns the host's reusable transport marshal buffer, emptied,
+// or nil — forcing a fresh allocation — when a pending ARP resolution
+// could retain the marshaled bytes past the send call.
+func (h *Host) scratch() []byte {
+	if h.resolve == nil {
+		return nil
+	}
+	return h.txScratch[:0]
 }
 
 // receive is the NIC's delivery callback.
@@ -254,7 +277,8 @@ func (h *Host) receiveICMP(d *packet.Datagram) {
 	if m.Type == packet.ICMPEchoRequest {
 		h.stats.EchoReplies++
 		reply := &packet.ICMPMessage{Type: packet.ICMPEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
-		h.send(d.Header.Src, packet.ProtoICMP, reply.Marshal())
+		h.txScratch = reply.MarshalTo(h.scratch())
+		h.send(d.Header.Src, packet.ProtoICMP, h.txScratch)
 		return
 	}
 	h.stats.ICMPReceived++
@@ -278,22 +302,32 @@ func (h *Host) sendRSTFor(src packet.IP, seg *packet.TCPSegment) {
 		}
 		rst.Ack = ack
 	}
-	h.send(src, packet.ProtoTCP, rst.Marshal(h.ip, src))
+	h.txScratch = rst.MarshalTo(h.ip, src, h.scratch())
+	h.send(src, packet.ProtoTCP, h.txScratch)
 }
 
 func (h *Host) sendPortUnreachable(dst packet.IP) {
 	h.stats.UnreachSent++
 	m := &packet.ICMPMessage{Type: packet.ICMPDestUnreach, Code: packet.ICMPCodePortUnreach}
-	h.send(dst, packet.ProtoICMP, m.Marshal())
+	h.txScratch = m.MarshalTo(h.scratch())
+	h.send(dst, packet.ProtoICMP, h.txScratch)
 }
 
 // send builds and transmits one IP datagram. It reports whether the
 // datagram made it onto the wire.
 func (h *Host) send(dst packet.IP, proto packet.Protocol, transport []byte) bool {
 	h.ipID++
-	d := packet.NewDatagram(h.ip, dst, proto, h.ipID, transport)
+	var d *packet.Datagram
+	if h.resolve != nil {
+		// The NIC consumes the datagram synchronously, so the host-level
+		// scratch datagram is safe to reuse across sends.
+		h.txDatagram = *packet.NewDatagram(h.ip, dst, proto, h.ipID, transport)
+		d = &h.txDatagram
+	} else {
+		d = packet.NewDatagram(h.ip, dst, proto, h.ipID, transport)
+	}
 	if h.fwall != nil {
-		s, err := packet.SummarizeIPv4(d.Marshal())
+		s, err := packet.SummarizeDatagram(d)
 		if err == nil && !h.fwall.FilterOut(s) {
 			h.stats.TxFiltered++
 			return false
@@ -379,7 +413,8 @@ func (h *Host) InjectSealed(d *packet.Datagram) bool {
 // Ping sends an ICMP echo request.
 func (h *Host) Ping(dst packet.IP, id, seq uint16) bool {
 	m := &packet.ICMPMessage{Type: packet.ICMPEchoRequest, ID: id, Seq: seq}
-	return h.send(dst, packet.ProtoICMP, m.Marshal())
+	h.txScratch = m.MarshalTo(h.scratch())
+	return h.send(dst, packet.ProtoICMP, h.txScratch)
 }
 
 // allocEphemeral returns the next free ephemeral port for the given test.

@@ -104,6 +104,10 @@ type Conn struct {
 	ooo      map[uint32][]byte
 	oooBytes int
 
+	// tx is the connection's segment marshal scratch, reused when the
+	// host resolves neighbors statically.
+	tx []byte
+
 	// OnConnect fires when the handshake completes.
 	OnConnect func()
 	// OnData fires for each in-order data segment.
@@ -566,7 +570,12 @@ func (c *Conn) sendSegment(flags packet.TCPFlags, seq uint32, payload []byte, re
 	if retransmit {
 		c.stats.Retransmits++
 	}
-	c.host.send(c.key.remote, packet.ProtoTCP, seg.Marshal(c.host.ip, c.key.remote))
+	if !c.host.StaticNeighbors() {
+		c.host.send(c.key.remote, packet.ProtoTCP, seg.Marshal(c.host.ip, c.key.remote))
+		return
+	}
+	c.tx = seg.MarshalTo(c.host.ip, c.key.remote, c.tx[:0])
+	c.host.send(c.key.remote, packet.ProtoTCP, c.tx)
 }
 
 func (c *Conn) armRTO() {

@@ -15,6 +15,10 @@ type UDPSocket struct {
 
 	rxDatagrams uint64
 	rxBytes     uint64
+
+	// tx is the socket's transport marshal scratch, reused when the host
+	// resolves neighbors statically.
+	tx []byte
 }
 
 // BindUDP binds a UDP port. Port 0 picks an ephemeral port.
@@ -48,8 +52,12 @@ func (s *UDPSocket) Received() (datagrams, bytes uint64) {
 // SendTo transmits one datagram. It reports whether the datagram made it
 // onto the wire.
 func (s *UDPSocket) SendTo(dst packet.IP, dstPort uint16, payload []byte) bool {
-	u := &packet.UDPDatagram{SrcPort: s.port, DstPort: dstPort, Payload: payload}
-	return s.host.send(dst, packet.ProtoUDP, u.Marshal(s.host.ip, dst))
+	u := packet.UDPDatagram{SrcPort: s.port, DstPort: dstPort, Payload: payload}
+	if !s.host.StaticNeighbors() {
+		return s.host.send(dst, packet.ProtoUDP, u.Marshal(s.host.ip, dst))
+	}
+	s.tx = u.MarshalTo(s.host.ip, dst, s.tx[:0])
+	return s.host.send(dst, packet.ProtoUDP, s.tx)
 }
 
 // Close unbinds the socket.

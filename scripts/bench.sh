@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the repository's hot-path benchmarks and snapshot the results as
+# a machine-readable baseline so perf regressions diff against a
+# committed reference.
+#
+# Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# Writes BENCH_baseline.json (or the given path) at the repo root with
+# one record per benchmark: ns/op, B/op, allocs/op, MB/s, and any
+# custom metrics (e.g. sim_Mbps from the stack bulk-transfer bench),
+# each the median of -count 3 runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+pkgs="./internal/nic ./internal/fw ./internal/sim ./internal/packet ./internal/measure"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -count 3 -timeout 30m $pkgs | tee "$raw"
+
+python3 - "$raw" "$out" <<'PY'
+import json, re, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+# Benchmark line: "BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ..."
+line_re = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
+pair_re = re.compile(r"([0-9.eE+]+)\s+(\S+)")
+
+samples = {}
+for line in open(raw_path):
+    m = line_re.match(line.strip())
+    if not m:
+        continue
+    name = re.sub(r"-\d+$", "", m.group(1))  # strip the -GOMAXPROCS suffix
+    metrics = samples.setdefault(name, {})
+    for value, unit in pair_re.findall(m.group(3)):
+        metrics.setdefault(unit, []).append(float(value))
+
+baseline = {
+    name: {unit: statistics.median(vals) for unit, vals in metrics.items()}
+    for name, metrics in sorted(samples.items())
+}
+with open(out_path, "w") as f:
+    json.dump(baseline, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(baseline)} benchmarks)")
+PY
