@@ -5,6 +5,7 @@
 // Usage:
 //
 //	barbican [flags] fig2|fig3a|fig3b|table1|ablations|all
+//	barbican explain [flags]
 //
 // Flags:
 //
@@ -17,6 +18,13 @@
 //	-metrics-out DIR write telemetry artifacts (Prometheus text, JSON,
 //	                 CSV) for every run, plus figure/table data exports
 //	-sample-every D  flight-recorder tick in virtual time (default 50ms)
+//	-trace-out DIR   write sampled packet-lifecycle traces (Perfetto
+//	                 trace_event JSON + annotated text) for every run
+//	-trace-sample N  trace 1 packet in N (default 64)
+//
+// The explain subcommand replays one hypothetical packet against a
+// rule set and prints the matched rule, depth walked, and predicted
+// per-stage cost; see barbican explain -h.
 package main
 
 import (
@@ -38,6 +46,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "explain" {
+		return runExplain(os.Stdout, args[1:])
+	}
 	fs := flag.NewFlagSet("barbican", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink sweeps to representative points")
 	duration := fs.Duration("duration", 0, "per-measurement window (0 = tool default)")
@@ -45,8 +56,11 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "experiment points measured concurrently (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory")
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
+	traceOut := fs.String("trace-out", "", "write packet-lifecycle traces (Perfetto JSON + text) under this directory")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 packet in N (0 = 64 default; needs -trace-out)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|report|all")
+		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +74,7 @@ func run(args []string) error {
 	cfg := experiment.Config{
 		Quick: *quick, Duration: *duration, Seed: *seed,
 		MetricsDir: *metricsOut, SampleEvery: *sampleEvery,
+		TraceDir: *traceOut, TraceSample: *traceSample,
 		Parallel: *parallel, Account: acct,
 	}
 	workers := *parallel

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -33,5 +34,36 @@ func TestRunQuickAblations(t *testing.T) {
 	}
 	if err := run([]string{"-quick", "-duration", "500ms", "ablations"}); err != nil {
 		t.Fatalf("run ablations: %v", err)
+	}
+}
+
+func TestExplainByteIdenticalAcrossParallel(t *testing.T) {
+	argsAt := func(workers string) []string {
+		return []string{"-device", "efw", "-depth", "64", "-parallel", workers}
+	}
+	var a, b bytes.Buffer
+	if err := runExplain(&a, argsAt("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExplain(&b, argsAt("8")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("explain output differs across -parallel:\n-parallel 1:\n%s\n-parallel 8:\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"rule 64", "traversing 64 rule(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainSubcommandDispatch(t *testing.T) {
+	if err := run([]string{"explain", "-bogus"}); err == nil {
+		t.Error("explain accepted unknown flag")
+	}
+	if err := run([]string{"explain", "-device", "warp-drive"}); err == nil || !strings.Contains(err.Error(), "unknown device") {
+		t.Errorf("err = %v", err)
 	}
 }

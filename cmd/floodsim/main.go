@@ -7,7 +7,7 @@
 //
 //	floodsim -device efw -depth 64 -rate 8000
 //	floodsim -device adf -depth 64 -deny -search
-//	floodsim -device adf -rate 12500 -metrics-out /tmp/m
+//	floodsim -device adf -rate 12500 -metrics-out /tmp/m -trace-out /tmp/t
 //	floodsim -device efw -depths 1,16,64 -rates 4000,8000,12500 -parallel 4
 //
 // With -metrics-out the run is recorded by the obs flight recorder and
@@ -33,6 +33,7 @@ import (
 
 	"barbican/internal/core"
 	"barbican/internal/obs"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
 
@@ -76,6 +77,8 @@ func run(args []string) error {
 	pcapPath := fs.String("pcap", "", "write the target's wire traffic to this pcap file (single runs only)")
 	metricsOut := fs.String("metrics-out", "", "write telemetry artifacts (prom/json/csv) under this directory (single runs only)")
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
+	traceOut := fs.String("trace-out", "", "write packet-lifecycle traces (Perfetto JSON + text) under this directory (single runs only)")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 packet in N (0 = 64 default; needs -trace-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,8 +97,8 @@ func run(args []string) error {
 	}
 
 	if *depthList != "" || *rateList != "" {
-		if *metricsOut != "" || *pcapPath != "" {
-			return fmt.Errorf("-metrics-out and -pcap apply to single runs only, not sweeps")
+		if *metricsOut != "" || *traceOut != "" || *pcapPath != "" {
+			return fmt.Errorf("-metrics-out, -trace-out, and -pcap apply to single runs only, not sweeps")
 		}
 		depths, err := parseInts(*depthList, *depth)
 		if err != nil {
@@ -119,18 +122,37 @@ func run(args []string) error {
 
 	var p core.BandwidthPoint
 	switch {
-	case *metricsOut != "" && *pcapPath != "":
-		return fmt.Errorf("-metrics-out and -pcap cannot be combined; run twice")
-	case *metricsOut != "":
+	case (*metricsOut != "" || *traceOut != "") && *pcapPath != "":
+		return fmt.Errorf("-metrics-out/-trace-out and -pcap cannot be combined; run twice")
+	case *metricsOut != "" || *traceOut != "":
+		var topt tracing.Options
+		if *traceOut != "" {
+			n := *traceSample
+			if n <= 0 {
+				n = tracing.DefaultSampleEvery
+			}
+			topt = tracing.Options{SampleEvery: n}
+		}
 		var inst *core.Instrumentation
-		p, inst, err = core.RunBandwidthInstrumented(s, *sampleEvery)
+		p, inst, err = core.RunBandwidthTraced(s, *sampleEvery, topt)
 		if err != nil {
 			return err
 		}
 		base := fmt.Sprintf("floodsim_%s_depth-%d_rate-%.0f_%s", obs.SanitizeName(device.String()), *depth, *rate, mode(!*deny))
-		paths, werr := inst.WriteArtifacts(*metricsOut, base)
-		if werr != nil {
-			return werr
+		var paths []string
+		if *metricsOut != "" {
+			mp, werr := inst.WriteArtifacts(*metricsOut, base)
+			if werr != nil {
+				return werr
+			}
+			paths = append(paths, mp...)
+		}
+		if *traceOut != "" {
+			tp, werr := inst.WriteTraceArtifacts(*traceOut, base)
+			if werr != nil {
+				return werr
+			}
+			paths = append(paths, tp...)
 		}
 		for _, path := range paths {
 			fmt.Println("wrote", path)

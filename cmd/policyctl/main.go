@@ -2,9 +2,11 @@
 //
 // Usage:
 //
-//	policyctl check <file>    validate a policy file and print its canonical form
-//	policyctl oracle          print the built-in Oracle-server example policy
-//	policyctl demo <file>     push the policy to a simulated EFW fleet and report
+//	policyctl check <file>            validate a policy file and print its canonical form
+//	policyctl oracle                  print the built-in Oracle-server example policy
+//	policyctl demo <file>             push the policy to a simulated EFW fleet and report
+//	policyctl explain <file> [flags]  replay one packet against the policy and predict
+//	                                  matched rule, depth walked, and per-stage cost
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"barbican/internal/core"
+	"barbican/internal/nic"
 	"barbican/internal/packet"
 	"barbican/internal/policy"
 	"barbican/internal/stack"
@@ -29,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("policyctl", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | analyze <file> | oracle | demo <file>")
+		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | analyze <file> | oracle | demo <file> | explain <file> [flags]")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +47,12 @@ func run(args []string) error {
 		return nil
 	case "demo":
 		return demo(fs.Arg(1))
+	case "explain":
+		var flags []string
+		if fs.NArg() > 2 {
+			flags = fs.Args()[2:]
+		}
+		return explain(fs.Arg(1), flags)
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown subcommand %q", fs.Arg(0))
@@ -159,4 +168,47 @@ func demo(path string) error {
 type policyHost struct {
 	host  *stack.Host
 	agent *policy.Agent
+}
+
+// explain replays one hypothetical packet against the policy file on a
+// card profile and prints the predicted verdict — matched rule, depth
+// walked — and per-stage processing cost. Pure prediction: no
+// simulation runs and no live counters are touched.
+func explain(path string, args []string) error {
+	text, err := readPolicy(path)
+	if err != nil {
+		return err
+	}
+	rs, err := policy.Parse(text)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("policyctl explain", flag.ContinueOnError)
+	device := fs.String("device", "efw", "card profile: standard|efw|adf|nextgen")
+	proto := fs.String("proto", "tcp", "packet protocol: tcp|udp|icmp")
+	src := fs.String("src", "10.0.0.1", "source IP")
+	dst := fs.String("dst", "10.0.0.2", "destination IP")
+	sport := fs.Int("sport", 40000, "source port (tcp/udp)")
+	dport := fs.Int("dport", 80, "destination port (tcp/udp)")
+	size := fs.Int("size", 40, "IP datagram length in bytes")
+	dir := fs.String("dir", "in", "direction through the card: in|out")
+	sealed := fs.Bool("sealed", false, "packet arrives in a VPG envelope")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := nic.ProfileByName(*device)
+	if err != nil {
+		return err
+	}
+	spec := nic.PacketSpec{
+		Proto: *proto, Src: *src, Dst: *dst,
+		SrcPort: *sport, DstPort: *dport,
+		Size: *size, Dir: *dir, Sealed: *sealed,
+	}
+	summary, fdir, err := spec.Summary()
+	if err != nil {
+		return err
+	}
+	fmt.Print(nic.Explain(profile, rs, summary, fdir).Render())
+	return nil
 }

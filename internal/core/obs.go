@@ -4,16 +4,25 @@ import (
 	"time"
 
 	"barbican/internal/measure"
+	"barbican/internal/nic"
 	"barbican/internal/obs"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/stack"
 )
 
-// Instrumentation bundles one run's metrics registry and flight
-// recorder. Construct it with Instrument; call Finish when the run's
-// measurement window closes.
+// Instrumentation bundles one run's metrics registry, flight
+// recorder, and (optional) packet tracer. Construct it with
+// Instrument; call Finish when the run's measurement window closes.
 type Instrumentation struct {
 	Registry *obs.Registry
 	Recorder *obs.Recorder
+	// Tracer is non-nil when the run was traced (see
+	// RunBandwidthTraced); export it with WriteTraceArtifacts.
+	Tracer *tracing.Tracer
+
+	// target is the system-under-test card, the authoritative source
+	// of the per-reason drop totals embedded in trace exports.
+	target *nic.NIC
 }
 
 // Finish takes a final sample at the current virtual time and stops the
@@ -52,10 +61,15 @@ func Instrument(tb *Testbed, sampleEvery time.Duration) *Instrumentation {
 		hn.h.PublishMetrics(reg, label)
 		hn.h.NIC().PublishMetrics(reg, label)
 		hn.h.NIC().Endpoint().PublishMetrics(reg, label)
+		if rs := hn.h.NIC().RuleSet(); rs != nil {
+			rs.PublishRuleMetrics(reg, label)
+		} else if hf := hn.h.Firewall(); hf != nil && hf.RuleSet() != nil {
+			hf.RuleSet().PublishRuleMetrics(reg, label)
+		}
 	}
 	rec := obs.NewRecorder(tb.Kernel, reg, sampleEvery)
 	rec.Start()
-	return &Instrumentation{Registry: reg, Recorder: rec}
+	return &Instrumentation{Registry: reg, Recorder: rec, target: tb.Target.NIC()}
 }
 
 // RunBandwidthInstrumented is RunBandwidth with a full telemetry
@@ -64,11 +78,22 @@ func Instrument(tb *Testbed, sampleEvery time.Duration) *Instrumentation {
 // byte counter joins the registry so the recorded timeline carries an
 // instantaneous-goodput series.
 func RunBandwidthInstrumented(s Scenario, sampleEvery time.Duration) (BandwidthPoint, *Instrumentation, error) {
+	return RunBandwidthTraced(s, sampleEvery, tracing.Options{})
+}
+
+// RunBandwidthTraced is RunBandwidthInstrumented with a packet
+// tracer attached to the whole pipeline. topt.SampleEvery > 0 enables
+// tracing at 1-in-N; zero options disable it (identical to
+// RunBandwidthInstrumented).
+func RunBandwidthTraced(s Scenario, sampleEvery time.Duration, topt tracing.Options) (BandwidthPoint, *Instrumentation, error) {
 	tb, err := buildTestbed(s)
 	if err != nil {
 		return BandwidthPoint{}, nil, err
 	}
 	inst := Instrument(tb, sampleEvery)
+	if topt.SampleEvery > 0 {
+		inst.Tracer = tb.AttachTracer(topt)
+	}
 	flood, err := startFlood(tb, s)
 	if err != nil {
 		return BandwidthPoint{}, nil, err
@@ -92,6 +117,7 @@ func RunBandwidthInstrumented(s Scenario, sampleEvery time.Duration) (BandwidthP
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		Attribution:  ruleAttribution(tb),
 		SimSeconds:   tb.Kernel.Now().Seconds(),
 		WallBusy:     tb.Kernel.WallBusy(),
 	}
@@ -113,6 +139,8 @@ type TimelineOptions struct {
 	// FloodStop is when the flood switches off; zero floods to the end
 	// of the window.
 	FloodStop time.Duration
+	// Trace attaches a packet tracer when Trace.SampleEvery > 0.
+	Trace tracing.Options
 }
 
 // RunFloodTimeline measures bandwidth with the scenario's flood gated
@@ -127,6 +155,9 @@ func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrum
 		return BandwidthPoint{}, nil, err
 	}
 	inst := Instrument(tb, opt.SampleEvery)
+	if opt.Trace.SampleEvery > 0 {
+		inst.Tracer = tb.AttachTracer(opt.Trace)
+	}
 
 	var flood *measure.Flooder
 	if s.FloodRatePPS > 0 {
@@ -162,6 +193,7 @@ func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrum
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		Attribution:  ruleAttribution(tb),
 		SimSeconds:   tb.Kernel.Now().Seconds(),
 		WallBusy:     tb.Kernel.WallBusy(),
 	}

@@ -67,6 +67,9 @@ type BandwidthPoint struct {
 	FloodSent    uint64
 	TargetLocked bool
 	TargetNIC    nic.Stats
+	// Attribution breaks the target's policy enforcement down per
+	// rule (hits, predicted cost/latency); nil when unfiltered.
+	Attribution *RuleAttribution
 	// SimSeconds and WallBusy report how much virtual time the point's
 	// kernel simulated and how much wall clock it burned doing so — the
 	// inputs to the executor's sim-seconds-per-wall-second accounting.
@@ -128,6 +131,14 @@ func buildTestbed(s Scenario) (*Testbed, error) {
 	}
 	tb.InstallPolicy(tb.Target, rules)
 	return tb, nil
+}
+
+// StandardRuleSet builds the paper's experimental rule-set shape for
+// explain-style tooling: depth-1 non-matching rules above the action
+// rule, which either allows everything (default deny) or denies the
+// flood signature (default allow).
+func StandardRuleSet(depth int, floodAllowed bool) (*fw.RuleSet, error) {
+	return standardRuleSet(depth, floodAllowed, 0)
 }
 
 // standardRuleSet builds the paper's experimental rule-set shape. With
@@ -243,6 +254,7 @@ func runBandwidth(s Scenario, tap func(*Testbed)) (BandwidthPoint, error) {
 		Iperf:        res,
 		TargetLocked: tb.Target.NIC().Locked(),
 		TargetNIC:    tb.Target.NIC().Stats(),
+		Attribution:  ruleAttribution(tb),
 		SimSeconds:   tb.Kernel.Now().Seconds(),
 		WallBusy:     tb.Kernel.WallBusy(),
 	}

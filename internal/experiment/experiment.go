@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
 
@@ -142,6 +143,13 @@ type Config struct {
 	// SampleEvery is the flight-recorder tick in virtual time; zero
 	// uses obs.DefaultSampleEvery.
 	SampleEvery time.Duration
+	// TraceDir, when non-empty, attaches a packet-lifecycle tracer to
+	// each run and writes Perfetto trace_event JSON plus tcpdump-style
+	// text logs under this directory.
+	TraceDir string
+	// TraceSample is the tracer's 1-in-N sampling rate; zero uses
+	// tracing.DefaultSampleEvery.
+	TraceSample int
 	// Parallel is the number of experiment points measured concurrently;
 	// zero means runtime.GOMAXPROCS(0) and 1 runs points serially on the
 	// calling goroutine. Every point owns a private simulation kernel and
@@ -155,6 +163,19 @@ type Config struct {
 
 // pool returns the executor pool the configuration selects.
 func (c Config) pool() runner.Pool { return runner.Pool{Workers: c.Parallel} }
+
+// traceOptions returns the tracer options the configuration selects:
+// disabled (zero value) unless TraceDir is set.
+func (c Config) traceOptions() tracing.Options {
+	if c.TraceDir == "" {
+		return tracing.Options{}
+	}
+	n := c.TraceSample
+	if n <= 0 {
+		n = tracing.DefaultSampleEvery
+	}
+	return tracing.Options{SampleEvery: n}
+}
 
 // account records one completed point's cost (or several, for searches
 // that run many probes per point) when accounting is enabled.

@@ -13,21 +13,74 @@ import (
 )
 
 // runObservedBandwidth runs a bandwidth scenario, attaching a flight
-// recorder and writing per-run telemetry artifacts when cfg.MetricsDir
-// is set; otherwise it is plain core.RunBandwidth. exp and label name
-// the artifact files: <MetricsDir>/<exp>/<label>.{prom,csv,json}.
+// recorder (and, with cfg.TraceDir, a packet tracer) and writing
+// per-run telemetry artifacts when cfg.MetricsDir or cfg.TraceDir is
+// set; otherwise it is plain core.RunBandwidth. exp and label name
+// the artifact files: <MetricsDir>/<exp>/<label>.{prom,csv,json} and
+// <TraceDir>/<exp>/<label>.trace.{json,txt}.
 func runObservedBandwidth(cfg Config, exp, label string, s core.Scenario) (core.BandwidthPoint, error) {
-	if cfg.MetricsDir == "" {
+	if cfg.MetricsDir == "" && cfg.TraceDir == "" {
 		return core.RunBandwidth(s)
 	}
-	p, inst, err := core.RunBandwidthInstrumented(s, cfg.SampleEvery)
+	p, inst, err := core.RunBandwidthTraced(s, cfg.SampleEvery, cfg.traceOptions())
 	if err != nil {
 		return p, err
 	}
-	if _, err := inst.WriteArtifacts(filepath.Join(cfg.MetricsDir, exp), label); err != nil {
-		return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+	if cfg.MetricsDir != "" {
+		dir := filepath.Join(cfg.MetricsDir, exp)
+		if _, err := inst.WriteArtifacts(dir, label); err != nil {
+			return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+		}
+		if p.Attribution != nil {
+			if err := WriteRuleAttribution(dir, label, p.Attribution); err != nil {
+				return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+			}
+		}
+	}
+	if cfg.TraceDir != "" {
+		if _, err := inst.WriteTraceArtifacts(filepath.Join(cfg.TraceDir, exp), label); err != nil {
+			return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+		}
 	}
 	return p, nil
+}
+
+// WriteRuleAttribution writes a run's per-rule firewall breakdown as
+// <dir>/<label>.rules.{csv,json}: one row per rule with hit count and
+// the profile's predicted walk cost/latency at that rule's position,
+// plus a final default-action row.
+func WriteRuleAttribution(dir, label string, a *core.RuleAttribution) error {
+	writeCSV := func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"rule_index", "rule", "hits", "cost_units", "latency_us"}); err != nil {
+			return err
+		}
+		for _, r := range a.Rules {
+			err := cw.Write([]string{
+				fmt.Sprintf("%d", r.Index), r.Text, fmt.Sprintf("%d", r.Hits),
+				fmt.Sprintf("%g", r.CostUnits), fmt.Sprintf("%g", float64(r.Latency.Nanoseconds())/1e3),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		err := cw.Write([]string{
+			"default", fmt.Sprintf("default (%d rules walked)", len(a.Rules)),
+			fmt.Sprintf("%d", a.DefaultHits),
+			fmt.Sprintf("%g", a.DefaultCost), fmt.Sprintf("%g", float64(a.DefaultLatency.Nanoseconds())/1e3),
+		})
+		if err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	writeJSON := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(a)
+	}
+	return writeArtifactPair(dir, label+".rules", writeCSV, writeJSON)
 }
 
 // WriteCSV writes the figure as long-form CSV: series,x,y,note.

@@ -6,6 +6,7 @@ import (
 
 	"barbican/internal/core"
 	"barbican/internal/obs"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
 
@@ -40,7 +41,7 @@ func FloodTimeline(cfg Config) (*Figure, error) {
 		devices = []core.Device{core.DeviceStandard, core.DeviceIPTables, core.DeviceEFW, core.DeviceADF}
 	}
 
-	pairs, err := runner.Map(cfg.pool(), len(devices), func(di int) ([2]Series, error) {
+	groups, err := runner.Map(cfg.pool(), len(devices), func(di int) ([]Series, error) {
 		dev := devices[di]
 		depth := 1
 		if dev == core.DeviceStandard {
@@ -55,9 +56,10 @@ func FloodTimeline(cfg Config) (*Figure, error) {
 			SampleEvery: cfg.SampleEvery,
 			FloodStart:  floodStart,
 			FloodStop:   floodStop,
+			Trace:       cfg.traceOptions(),
 		})
 		if err != nil {
-			return [2]Series{}, fmt.Errorf("timeline %v: %w", dev, err)
+			return nil, fmt.Errorf("timeline %v: %w", dev, err)
 		}
 		cfg.account(1, p.SimSeconds, p.WallBusy)
 
@@ -70,29 +72,51 @@ func FloodTimeline(cfg Config) (*Figure, error) {
 				})
 			}
 		}
-		drops := Series{Label: dev.String() + " drops"}
-		if sd, ok := inst.Recorder.Series(`nic_rx_overload_drops_total{host="target"}`); ok {
+		out := []Series{goodput}
+		// One drop-rate series per drop reason the target actually hit,
+		// so the collapse window shows *why* packets died (the paper's
+		// Fig 3a regime is cpu-exhausted; rule-deny floods differ).
+		for _, r := range tracing.DropReasons() {
+			id := fmt.Sprintf(`nic_drops_total{dir="rx",host="target",reason=%q}`, r.String())
+			sd, ok := inst.Recorder.Series(id)
+			if !ok {
+				continue
+			}
+			drops := Series{Label: fmt.Sprintf("%s drops %s", dev, r)}
+			nonzero := false
 			for _, pt := range sd.Rate() {
+				if pt.V != 0 {
+					nonzero = true
+				}
 				drops.Points = append(drops.Points, Point{
 					X: roundTo(pt.T.Seconds(), 3),
 					Y: pt.V / 1000,
 				})
+			}
+			if nonzero {
+				out = append(out, drops)
 			}
 		}
 
 		if cfg.MetricsDir != "" {
 			dir := filepath.Join(cfg.MetricsDir, "timeline")
 			if _, err := inst.WriteArtifacts(dir, obs.SanitizeName(dev.String())); err != nil {
-				return [2]Series{}, err
+				return nil, err
 			}
 		}
-		return [2]Series{goodput, drops}, nil
+		if cfg.TraceDir != "" {
+			dir := filepath.Join(cfg.TraceDir, "timeline")
+			if _, err := inst.WriteTraceArtifacts(dir, obs.SanitizeName(dev.String())); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, pair := range pairs {
-		fig.Series = append(fig.Series, pair[0], pair[1])
+	for _, group := range groups {
+		fig.Series = append(fig.Series, group...)
 	}
 	return fig, nil
 }

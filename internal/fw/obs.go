@@ -1,0 +1,29 @@
+package fw
+
+import (
+	"fmt"
+
+	"barbican/internal/obs"
+)
+
+// PublishRuleMetrics registers the rule-set's evaluation counters —
+// total evaluations, default-action hits, and a per-rule hit counter
+// labelled with the 1-based rule index — as collector closures. Eval
+// itself is untouched; the closures read the existing counters only
+// when a snapshot or flight-recorder tick gathers them.
+func (rs *RuleSet) PublishRuleMetrics(reg *obs.Registry, labels ...obs.Label) {
+	counter := func(name, help string, read func() float64, extra ...obs.Label) {
+		reg.MustRegisterFunc(name, help, obs.KindCounter, read, append(extra, labels...)...)
+	}
+
+	counter("fw_evals_total", "Packet evaluations against this rule-set.",
+		func() float64 { return float64(rs.EvalCount()) })
+	counter("fw_default_hits_total", "Evaluations that walked every rule and hit the default action.",
+		func() float64 { return float64(rs.DefaultHits()) })
+	for i := 1; i <= rs.Len(); i++ {
+		i := i
+		counter("fw_rule_hits_total", "Evaluations matched by this rule.",
+			func() float64 { return float64(rs.MatchCount(i)) },
+			obs.Label{Key: "rule", Value: fmt.Sprintf("%03d", i)})
+	}
+}

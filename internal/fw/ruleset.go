@@ -137,6 +137,18 @@ func (rs *RuleSet) Stats() (evals uint64, perRule []uint64, defaultHits uint64) 
 	return rs.evals, append([]uint64(nil), rs.matches...), rs.defHits
 }
 
+// MatchCount returns the 1-based i'th rule's hit count without
+// copying, for metric collector closures on the hot-path-free gather
+// side.
+func (rs *RuleSet) MatchCount(i int) uint64 { return rs.matches[i-1] }
+
+// EvalCount returns the total number of Eval calls.
+func (rs *RuleSet) EvalCount() uint64 { return rs.evals }
+
+// DefaultHits returns how many evaluations fell through to the
+// default action (a full-depth walk).
+func (rs *RuleSet) DefaultHits() uint64 { return rs.defHits }
+
 // String renders the rule-set in the policy DSL syntax.
 func (rs *RuleSet) String() string {
 	var b strings.Builder

@@ -11,6 +11,7 @@ package link
 import (
 	"time"
 
+	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 )
@@ -69,6 +70,7 @@ type direction struct {
 	queued    int
 	stats     Stats
 	dst       *Endpoint
+	tracer    *tracing.Tracer
 
 	// deliverFn is the precomputed arrival callback, scheduled through
 	// the kernel's pooled-event path so each frame in flight costs no
@@ -113,6 +115,11 @@ func (e *Endpoint) Attach(recv func(*packet.Frame)) { e.recv = recv }
 // captures traffic without perturbing it.
 func (e *Endpoint) SetTap(tap func(f *packet.Frame, tx bool)) { e.tap = tap }
 
+// SetTracer attaches (or with nil detaches) a packet-lifecycle tracer
+// to this endpoint's transmit direction: traced frames record one
+// link span covering queueing, serialization, and propagation.
+func (e *Endpoint) SetTracer(tr *tracing.Tracer) { e.dir.tracer = tr }
+
 // Stats returns transmit-side statistics for this endpoint.
 func (e *Endpoint) Stats() Stats { return e.dir.stats }
 
@@ -125,6 +132,9 @@ func (e *Endpoint) Send(f *packet.Frame) bool {
 	d := e.dir
 	if d.queued >= d.cfg.QueueFrames {
 		d.stats.DroppedFrames++
+		if d.tracer != nil && f.TraceID != 0 {
+			d.tracer.Drop(f.TraceID, tracing.StageLink, tracing.DropLinkQueue)
+		}
 		return false
 	}
 	now := d.kernel.Now()
@@ -139,6 +149,11 @@ func (e *Endpoint) Send(f *packet.Frame) bool {
 	d.stats.SentBytes += uint64(f.WireLen())
 	if e.tap != nil {
 		e.tap(f, true)
+	}
+	if d.tracer != nil && f.TraceID != 0 {
+		// The full wire occupancy is known at acceptance: queue wait
+		// (busyUntil), serialization, and propagation.
+		d.tracer.Span(f.TraceID, tracing.StageLink, now, done+d.cfg.Propagation)
 	}
 	d.kernel.AfterCall(done+d.cfg.Propagation-now, d.deliverFn, f)
 	return true

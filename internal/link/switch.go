@@ -3,6 +3,7 @@ package link
 import (
 	"time"
 
+	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 )
@@ -35,6 +36,7 @@ type Switch struct {
 	ports  []*Endpoint // switch-side endpoints
 	macs   map[packet.MAC]int
 	stats  SwitchStats
+	tracer *tracing.Tracer
 }
 
 // NewSwitch creates an empty switch.
@@ -51,8 +53,19 @@ func (s *Switch) NewPort() *Endpoint {
 	station, swSide := New(s.kernel, s.cfg.Link)
 	port := len(s.ports)
 	s.ports = append(s.ports, swSide)
+	swSide.SetTracer(s.tracer)
 	swSide.Attach(func(f *packet.Frame) { s.ingress(port, f) })
 	return station
+}
+
+// SetTracer attaches (or with nil detaches) a packet-lifecycle tracer
+// to the switch and every switch-side port direction: traced frames
+// record the store-and-forward latency and egress-link spans.
+func (s *Switch) SetTracer(tr *tracing.Tracer) {
+	s.tracer = tr
+	for _, p := range s.ports {
+		p.SetTracer(tr)
+	}
 }
 
 // Ports returns the number of attached ports.
@@ -72,6 +85,10 @@ func (s *Switch) LearnedPort(m packet.MAC) int {
 func (s *Switch) ingress(port int, f *packet.Frame) {
 	if !f.Src.IsBroadcast() {
 		s.macs[f.Src] = port
+	}
+	if s.tracer != nil && f.TraceID != 0 {
+		now := s.kernel.Now()
+		s.tracer.Span(f.TraceID, tracing.StageSwitch, now, now+s.cfg.Latency)
 	}
 	s.kernel.After(s.cfg.Latency, func() { s.egress(port, f) })
 }

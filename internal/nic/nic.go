@@ -6,6 +6,7 @@ import (
 
 	"barbican/internal/fw"
 	"barbican/internal/link"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 	"barbican/internal/vpg"
@@ -72,6 +73,14 @@ type NIC struct {
 	mgmtPort uint16
 
 	stats Stats
+
+	// Always-on per-reason drop counters (one array index increment
+	// per drop; see internal/obs/tracing.DropReason) and the optional
+	// packet-lifecycle tracer (nil = disabled, the hot-path cost is a
+	// nil check).
+	rxDrops [tracing.NumDropReasons]uint64
+	txDrops [tracing.NumDropReasons]uint64
+	tracer  *tracing.Tracer
 }
 
 // New creates a card with the given hardware profile, attached to one end
@@ -128,6 +137,41 @@ func (n *NIC) Profile() Profile { return n.profile }
 
 // Stats returns a snapshot of the card's counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// SetTracer attaches (or with nil detaches) a packet-lifecycle
+// tracer. The card samples egress packets (Send/SendRawFrame) and
+// records spans for frames whose TraceID is already set.
+func (n *NIC) SetTracer(tr *tracing.Tracer) { n.tracer = tr }
+
+// DropCounts returns the per-reason ingress and egress drop counters,
+// indexed by tracing.DropReason.
+func (n *NIC) DropCounts() (rx, tx [tracing.NumDropReasons]uint64) {
+	return n.rxDrops, n.txDrops
+}
+
+// TotalDrops sums every per-reason drop counter, both directions.
+func (n *NIC) TotalDrops() uint64 {
+	var total uint64
+	for r := range n.rxDrops {
+		total += n.rxDrops[r] + n.txDrops[r]
+	}
+	return total
+}
+
+// cpuExhaustedBacklog separates the two overload drop reasons: when
+// the embedded processor has at least this much queued work at the
+// moment the descriptor ring rejects a packet, the card is saturated
+// (cpu-exhausted, the paper's flood-collapse regime); below it the
+// ring filled transiently (queue-overflow burst).
+const cpuExhaustedBacklog = time.Millisecond
+
+// overloadReason classifies a processor admission rejection.
+func (n *NIC) overloadReason() tracing.DropReason {
+	if n.proc.Backlog() >= cpuExhaustedBacklog {
+		return tracing.DropCPUExhausted
+	}
+	return tracing.DropQueueOverflow
+}
 
 // SetDeliver registers the host-side receive handler.
 func (n *NIC) SetDeliver(fn func(*packet.Frame)) { n.deliver = fn }
@@ -204,6 +248,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	n.stats.TxRequests++
 	if n.locked {
 		n.stats.TxLockedDrops++
+		n.txDrops[tracing.DropAgentNotReady]++
 		return false
 	}
 	// Summarize the datagram directly: it is wire-identical to the frame
@@ -211,12 +256,25 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	s, err := packet.SummarizeDatagram(d)
 	if err != nil {
 		n.stats.TxDenied++
+		n.txDrops[tracing.DropMalformed]++
 		return false
+	}
+
+	// Egress is where every simulated packet first meets a NIC, so the
+	// sampling decision lives here; sampled frames carry the trace ID
+	// through the rest of the pipeline.
+	var tid uint64
+	tr := n.tracer
+	if tr != nil && tr.Take() {
+		tid = tr.Begin(s.String())
 	}
 
 	verdict := fw.Verdict{Action: fw.Allow}
 	if n.rules != nil && !n.isManagement(s) {
 		verdict = n.rules.Eval(s, fw.Out)
+		if tid != 0 {
+			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String())
+		}
 	}
 
 	cryptoBytes := 0
@@ -229,10 +287,19 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
 	if !ok {
 		n.stats.TxOverloadDrops++
+		reason := n.overloadReason()
+		n.txDrops[reason]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, reason)
+		}
 		return false
 	}
 	if verdict.Action == fw.Deny {
 		n.stats.TxDenied++
+		n.txDrops[tracing.DropRuleDeny]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, tracing.DropRuleDeny)
+		}
 		return false
 	}
 
@@ -240,17 +307,32 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	if sealGroup != "" {
 		sealed, ok := n.seal(sealGroup, d, dstMAC)
 		if !ok {
+			n.txDrops[tracing.DropNoGroup]++
+			if tid != 0 {
+				tr.Drop(tid, tracing.StageVPG, tracing.DropNoGroup)
+			}
 			return false
 		}
 		frame = sealed
+		if tid != 0 {
+			tr.Point(tid, tracing.StageVPG, "sealed "+sealGroup)
+		}
 	} else {
 		frame = &packet.Frame{Dst: dstMAC, Src: n.mac, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
 	}
 	if len(frame.Payload) > packet.MaxPayload {
 		n.stats.TxOversize++
+		n.txDrops[tracing.DropOversize]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, tracing.DropOversize)
+		}
 		return false
 	}
 	n.stats.TxAllowed++
+	if tid != 0 {
+		frame.TraceID = tid
+		tr.Span(tid, tracing.StageNICTx, n.kernel.Now(), completeAt)
+	}
 	// The frame leaves the card once the embedded processor finishes it.
 	n.kernel.AtCall(completeAt, n.txFn, frame)
 	return true
@@ -262,16 +344,38 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 // lockup; a standard card passes it straight through.
 func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 	n.stats.TxRequests++
+	var tid uint64
+	tr := n.tracer
+	if tr != nil && tr.Take() {
+		if s, err := packet.Summarize(f); err == nil {
+			tid = tr.Begin(s.String())
+		} else {
+			tid = tr.Begin("raw frame")
+		}
+	}
 	if n.locked {
 		n.stats.TxLockedDrops++
+		n.txDrops[tracing.DropAgentNotReady]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, tracing.DropAgentNotReady)
+		}
 		return false
 	}
 	completeAt, ok := n.proc.Admit(n.profile.cost(0, 0))
 	if !ok {
 		n.stats.TxOverloadDrops++
+		reason := n.overloadReason()
+		n.txDrops[reason]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, reason)
+		}
 		return false
 	}
 	n.stats.TxAllowed++
+	if tid != 0 {
+		f.TraceID = tid
+		tr.Span(tid, tracing.StageNICTx, n.kernel.Now(), completeAt)
+	}
 	n.kernel.AtCall(completeAt, n.txFn, f)
 	return true
 }
@@ -303,8 +407,17 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		return
 	}
 	n.stats.RxFrames++
+	tid := f.TraceID
+	tr := n.tracer
+	if tr == nil {
+		tid = 0
+	}
 	if n.locked {
 		n.stats.RxLockedDrops++
+		n.rxDrops[tracing.DropAgentNotReady]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICRx, tracing.DropAgentNotReady)
+		}
 		return
 	}
 	if f.Type == packet.EtherTypeARP {
@@ -318,12 +431,19 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 	s, err := packet.Summarize(f)
 	if err != nil {
 		n.stats.RxMalformed++
+		n.rxDrops[tracing.DropMalformed]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICRx, tracing.DropMalformed)
+		}
 		return
 	}
 
 	verdict := fw.Verdict{Action: fw.Allow}
 	if n.rules != nil && !n.isManagement(s) {
 		verdict = n.rules.Eval(s, fw.In)
+		if tid != 0 {
+			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String())
+		}
 	}
 
 	cryptoBytes := 0
@@ -350,12 +470,24 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
 	if !ok {
 		n.stats.RxOverloadDrops++
+		reason := n.overloadReason()
+		n.rxDrops[reason]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICRx, reason)
+		}
 		return
 	}
 	if verdict.Action == fw.Deny {
 		n.stats.RxDenied++
+		n.rxDrops[tracing.DropRuleDeny]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICRx, tracing.DropRuleDeny)
+		}
 		n.noteDenied()
 		return
+	}
+	if tid != 0 {
+		tr.Span(tid, tracing.StageNICRx, n.kernel.Now(), completeAt)
 	}
 	var pi *pendingIngress
 	if k := len(n.ingressFree); k > 0 {
@@ -370,8 +502,16 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 }
 
 func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdict) {
+	tid := f.TraceID
+	if n.tracer == nil {
+		tid = 0
+	}
 	if n.locked {
 		n.stats.RxLockedDrops++
+		n.rxDrops[tracing.DropAgentNotReady]++
+		if tid != 0 {
+			n.tracer.Drop(tid, tracing.StageNICRx, tracing.DropAgentNotReady)
+		}
 		return
 	}
 	if !s.Sealed {
@@ -381,7 +521,7 @@ func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdic
 		}
 		return
 	}
-	inner, ok := n.open(f, s, verdict)
+	inner, ok := n.open(f, s, verdict, tid)
 	if !ok {
 		return
 	}
@@ -392,16 +532,25 @@ func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdic
 }
 
 // open verifies and decrypts a sealed frame, returning the reconstructed
-// cleartext frame.
-func (n *NIC) open(f *packet.Frame, s packet.Summary, verdict fw.Verdict) (*packet.Frame, bool) {
+// cleartext frame. tid is the frame's sampled trace (0 = untraced);
+// drop reasons are recorded against it and propagated to the inner
+// frame on success.
+func (n *NIC) open(f *packet.Frame, s packet.Summary, verdict fw.Verdict, tid uint64) (*packet.Frame, bool) {
+	drop := func(stat *uint64, reason tracing.DropReason) {
+		*stat++
+		n.rxDrops[reason]++
+		if tid != 0 {
+			n.tracer.Drop(tid, tracing.StageVPG, reason)
+		}
+	}
 	outer, err := packet.UnmarshalDatagram(f.Payload)
 	if err != nil {
-		n.stats.RxMalformed++
+		drop(&n.stats.RxMalformed, tracing.DropMalformed)
 		return nil, false
 	}
 	name, err := vpg.PeekGroupName(outer.Payload)
 	if err != nil {
-		n.stats.RxMalformed++
+		drop(&n.stats.RxMalformed, tracing.DropMalformed)
 		return nil, false
 	}
 	// Policy must have admitted the packet via the VPG rule for this
@@ -409,18 +558,18 @@ func (n *NIC) open(f *packet.Frame, s packet.Summary, verdict fw.Verdict) (*pack
 	// error and is dropped.
 	if verdict.Rule == nil || verdict.Rule.VPG != name {
 		if n.rules != nil {
-			n.stats.RxNoGroup++
+			drop(&n.stats.RxNoGroup, tracing.DropNoGroup)
 			return nil, false
 		}
 	}
 	g, ok := n.groups[name]
 	if !ok {
-		n.stats.RxNoGroup++
+		drop(&n.stats.RxNoGroup, tracing.DropNoGroup)
 		return nil, false
 	}
 	proto, transport, seq, err := g.Open(outer.Header.Src, outer.Header.Dst, outer.Payload)
 	if err != nil {
-		n.stats.RxAuthFailures++
+		drop(&n.stats.RxAuthFailures, tracing.DropAuthFail)
 		return nil, false
 	}
 	key := replayKey{group: name, sender: outer.Header.Src}
@@ -430,12 +579,15 @@ func (n *NIC) open(f *packet.Frame, s packet.Summary, verdict fw.Verdict) (*pack
 		n.replay[key] = w
 	}
 	if !w.Check(seq) {
-		n.stats.RxReplayDrops++
+		drop(&n.stats.RxReplayDrops, tracing.DropReplay)
 		return nil, false
 	}
 	n.stats.Opened++
+	if tid != 0 {
+		n.tracer.Point(tid, tracing.StageVPG, "opened "+name)
+	}
 	inner := packet.NewDatagram(outer.Header.Src, outer.Header.Dst, proto, outer.Header.ID, transport)
-	return &packet.Frame{Dst: f.Dst, Src: f.Src, Type: packet.EtherTypeIPv4, Payload: inner.Marshal()}, true
+	return &packet.Frame{Dst: f.Dst, Src: f.Src, Type: packet.EtherTypeIPv4, Payload: inner.Marshal(), TraceID: tid}, true
 }
 
 // noteDenied tracks the denied-packet rate for the EFW lockup failure.

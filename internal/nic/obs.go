@@ -1,6 +1,9 @@
 package nic
 
-import "barbican/internal/obs"
+import (
+	"barbican/internal/obs"
+	"barbican/internal/obs/tracing"
+)
 
 // PublishMetrics registers the card's counters and processor state with
 // the registry as collector closures. The packet fast path is untouched
@@ -44,6 +47,20 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		func() float64 { return float64(n.stats.TxOverloadDrops) })
 	counter("nic_tx_locked_drops_total", "Egress frames dropped while the card was wedged.",
 		func() float64 { return float64(n.stats.TxLockedDrops) })
+
+	// Per-reason drop taxonomy (see internal/obs/tracing.DropReason):
+	// one series per direction × reason, reading the always-on arrays.
+	for _, r := range tracing.DropReasons() {
+		r := r
+		reg.MustRegisterFunc("nic_drops_total", "Frames dropped, by first-class drop reason.",
+			obs.KindCounter,
+			func() float64 { return float64(n.rxDrops[r]) },
+			append([]obs.Label{obs.L("dir", "rx"), obs.L("reason", r.String())}, labels...)...)
+		reg.MustRegisterFunc("nic_drops_total", "Frames dropped, by first-class drop reason.",
+			obs.KindCounter,
+			func() float64 { return float64(n.txDrops[r]) },
+			append([]obs.Label{obs.L("dir", "tx"), obs.L("reason", r.String())}, labels...)...)
+	}
 
 	counter("nic_sealed_total", "Datagrams sealed into VPG envelopes.",
 		func() float64 { return float64(n.stats.Sealed) })

@@ -6,6 +6,7 @@ import (
 	"barbican/internal/fw"
 	"barbican/internal/link"
 	"barbican/internal/obs"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 )
@@ -15,8 +16,10 @@ import (
 // when-disabled contract: BenchmarkRxPath/instrumented publishes every
 // card counter to a registry (no recorder sampling it) and must be
 // within noise of BenchmarkRxPath/uninstrumented, because collector
-// closures only run at gather time.
-func benchRx(b *testing.B, instrument bool) {
+// closures only run at gather time. With sampleEvery > 0 a packet
+// tracer is attached and frames are stamped upstream at that 1-in-N
+// rate, measuring the tracing overhead documented in DESIGN.md §8.
+func benchRx(b *testing.B, instrument bool, sampleEvery int) {
 	k := sim.NewKernel()
 	_, eb := link.New(k, link.Config{QueueFrames: 1 << 16})
 	n := New(k, macB, EFW(), eb)
@@ -27,6 +30,11 @@ func benchRx(b *testing.B, instrument bool) {
 	if instrument {
 		n.PublishMetrics(obs.NewRegistry(), obs.L("host", "bench"))
 	}
+	var tr *tracing.Tracer
+	if sampleEvery > 0 {
+		tr = tracing.New(k, tracing.Options{SampleEvery: sampleEvery, Limit: 1024})
+		n.SetTracer(tr)
+	}
 
 	d := udpDatagram(ipA, ipB, 1000, 2000, 100)
 	f := &packet.Frame{Dst: macB, Src: macA, Type: packet.EtherTypeIPv4, Payload: d.Marshal()}
@@ -34,6 +42,13 @@ func benchRx(b *testing.B, instrument bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if tr != nil {
+			// Stamp the frame the way the sending NIC would.
+			f.TraceID = 0
+			if tr.Take() {
+				f.TraceID = tr.Begin("bench udp")
+			}
+		}
 		n.handleFrame(f)
 		if err := k.Run(); err != nil {
 			b.Fatal(err)
@@ -43,9 +58,13 @@ func benchRx(b *testing.B, instrument bool) {
 	if got := n.Stats().RxAllowed; got != uint64(b.N) {
 		b.Fatalf("rx allowed = %d, want %d", got, b.N)
 	}
+	if tr != nil && b.N >= sampleEvery && tr.Sampled() == 0 {
+		b.Fatal("tracer attached but nothing sampled")
+	}
 }
 
 func BenchmarkRxPath(b *testing.B) {
-	b.Run("uninstrumented", func(b *testing.B) { benchRx(b, false) })
-	b.Run("instrumented", func(b *testing.B) { benchRx(b, true) })
+	b.Run("uninstrumented", func(b *testing.B) { benchRx(b, false, 0) })
+	b.Run("instrumented", func(b *testing.B) { benchRx(b, true, 0) })
+	b.Run("traced-1in64", func(b *testing.B) { benchRx(b, true, 64) })
 }

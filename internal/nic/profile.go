@@ -1,5 +1,7 @@
 package nic
 
+import "time"
+
 // Profile parameterizes a card's embedded processing model. Cost units
 // are abstract; only the ratios and the capacity matter. The default
 // profiles are calibrated so the simulated cards reproduce the paper's
@@ -109,4 +111,20 @@ func (p Profile) cost(rulesTraversed int, cryptoBytes int) float64 {
 		c += p.CryptoPerPacket + p.CryptoPerByte*float64(cryptoBytes)
 	}
 	return c
+}
+
+// Cost is the exported cost model, for explain-style tooling and
+// exports that predict per-packet processing cost outside a running
+// simulation.
+func (p Profile) Cost(rulesTraversed, cryptoBytes int) float64 {
+	return p.cost(rulesTraversed, cryptoBytes)
+}
+
+// ServiceTime converts a cost to the time the embedded processor
+// spends on it. A zero-capacity (wire speed) profile serves instantly.
+func (p Profile) ServiceTime(cost float64) time.Duration {
+	if p.CapacityUnits <= 0 || cost <= 0 {
+		return 0
+	}
+	return time.Duration(cost / p.CapacityUnits * float64(time.Second))
 }

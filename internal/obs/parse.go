@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition line: a series identity, its
+// value, and (for timeline expositions) an optional millisecond
+// timestamp.
+type PromSample struct {
+	// ID is the canonical name{labels} identity as it appeared.
+	ID     string
+	Name   string
+	Labels map[string]string
+	Value  float64
+	// TimestampMS is the exposition timestamp; valid when HasTimestamp.
+	TimestampMS  int64
+	HasTimestamp bool
+}
+
+// PromFamily groups the parsed samples of one metric family with its
+// TYPE and HELP metadata.
+type PromFamily struct {
+	Name    string
+	Kind    string // "counter", "gauge", "untyped", ...
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePromText parses Prometheus text exposition format — the inverse
+// of Registry.WritePromText and Recorder.WritePromText. It exists so
+// tests (and tooling) can round-trip exported artifacts instead of
+// string-matching them, and it accepts the subset of the format those
+// exporters emit: # HELP / # TYPE comments, name{labels} value lines,
+// and optional trailing millisecond timestamps. Families are returned
+// in first-appearance order.
+func ParsePromText(r io.Reader) ([]PromFamily, error) {
+	var order []string
+	byName := make(map[string]*PromFamily)
+	family := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name, Kind: "untyped"}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := strings.Cut(strings.TrimSpace(line[1:]), " ")
+			if !ok {
+				continue
+			}
+			name, meta, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "TYPE":
+				family(name).Kind = meta
+			case "HELP":
+				family(name).Help = meta
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom text line %d: %w", lineNo, err)
+		}
+		f := family(s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: prom text: %w", err)
+	}
+	out := make([]PromFamily, len(order))
+	for i, name := range order {
+		out[i] = *byName[name]
+	}
+	return out, nil
+}
+
+// parsePromSample parses one `name{labels} value [timestamp]` line.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		s.Name = rest[:i]
+		labels, err := parsePromLabels(rest[i+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		s.ID = rest[:end+1]
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("missing value in %q", line)
+		}
+		s.ID = s.Name
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after series in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad timestamp %q: %v", fields[1], err)
+		}
+		s.TimestampMS, s.HasTimestamp = ts, true
+	}
+	return s, nil
+}
+
+// parsePromLabels parses `k1="v1",k2="v2"` with \" \\ \n escapes.
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	rest := body
+	for rest != "" {
+		key, after, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("label without value in %q", body)
+		}
+		key = strings.TrimSpace(key)
+		after = strings.TrimSpace(after)
+		if len(after) < 2 || after[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q in %q", key, body)
+		}
+		var b strings.Builder
+		i := 1
+		closed := false
+		for i < len(after) {
+			c := after[i]
+			if c == '\\' && i+1 < len(after) {
+				switch after[i+1] {
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(after[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q in %q", key, body)
+		}
+		labels[key] = b.String()
+		rest = strings.TrimSpace(after[i:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}

@@ -1,0 +1,155 @@
+// Chrome/Perfetto trace_event JSON export. The output loads directly
+// in https://ui.perfetto.dev or chrome://tracing: each sampled packet
+// becomes one "thread" (tid = trace ID) under a single "barbican"
+// process, stages render as complete ("X") slices, rule walks and
+// drops as instant ("i") events, and aggregate drop counters as
+// counter ("C") tracks.
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CounterPoint is one (virtual time, value) sample on a counter track.
+type CounterPoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// CounterTrack is a named time series rendered as a Perfetto counter
+// ("C") track, e.g. a per-reason drop rate from the flight recorder.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
+// ExportOptions carries run-level aggregates into the trace file.
+type ExportOptions struct {
+	// Drops holds authoritative per-reason drop totals for the run
+	// (from the NIC counters, not from the sampled traces). They are
+	// embedded in otherData so the trace file carries the full
+	// drop-reason breakdown even at aggressive sampling.
+	Drops map[string]uint64
+	// Counters are optional counter tracks (e.g. recorder series).
+	Counters []CounterTrack
+}
+
+// traceEvent is one entry in the trace_event JSON array.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds of virtual time
+	Dur   *float64       `json:"dur,omitempty"` // microseconds, "X" events only
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// usec converts virtual time to trace_event microseconds.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WritePerfetto writes every retained trace (plus run-level counters
+// and metadata) as a trace_event JSON document.
+func (t *Tracer) WritePerfetto(w io.Writer, opt ExportOptions) error {
+	const pid = 1
+	doc := traceDoc{DisplayTimeUnit: "ns", OtherData: map[string]string{}}
+	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": "barbican packet pipeline"},
+	})
+
+	for _, pt := range t.Traces() {
+		label := fmt.Sprintf("pkt %d %s", pt.ID, pt.Desc)
+		if pt.Done {
+			label += " [" + pt.Final + "]"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: pt.ID,
+			Args: map[string]any{"name": label},
+		})
+		for _, sp := range pt.Spans {
+			ev := traceEvent{
+				Name: sp.Stage.String(), Cat: "packet",
+				PID: pid, TID: pt.ID, TS: usec(sp.Start),
+			}
+			args := map[string]any{}
+			if sp.Note != "" {
+				args["note"] = sp.Note
+			}
+			if sp.Stage == StageFW {
+				args["rule"] = sp.Rule
+				args["traversed"] = sp.Traversed
+			}
+			if sp.Drop != DropNone {
+				ev.Name = "drop " + sp.Drop.String()
+				args["reason"] = sp.Drop.String()
+			}
+			if sp.End > sp.Start {
+				d := usec(sp.End) - usec(sp.Start)
+				ev.Phase = "X"
+				ev.Dur = &d
+			} else {
+				ev.Phase = "i"
+				ev.Scope = "t"
+			}
+			if len(args) > 0 {
+				ev.Args = args
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+
+	for _, c := range t.Counters(opt) {
+		doc.TraceEvents = append(doc.TraceEvents, c...)
+	}
+
+	doc.OtherData["packets_seen"] = fmt.Sprint(t.Seen())
+	doc.OtherData["packets_sampled"] = fmt.Sprint(t.Sampled())
+	doc.OtherData["traces_retained"] = fmt.Sprint(len(t.Traces()))
+	doc.OtherData["traces_evicted"] = fmt.Sprint(t.Evicted())
+	doc.OtherData["sample_every"] = fmt.Sprint(t.SampleEvery())
+	var total uint64
+	names := make([]string, 0, len(opt.Drops))
+	for name := range opt.Drops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.OtherData["drop_"+name] = fmt.Sprint(opt.Drops[name])
+		total += opt.Drops[name]
+	}
+	doc.OtherData["drops_total"] = fmt.Sprint(total)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Counters renders the option's counter tracks as trace events.
+func (t *Tracer) Counters(opt ExportOptions) [][]traceEvent {
+	const pid = 1
+	out := make([][]traceEvent, 0, len(opt.Counters))
+	for _, track := range opt.Counters {
+		evs := make([]traceEvent, 0, len(track.Points))
+		for _, p := range track.Points {
+			evs = append(evs, traceEvent{
+				Name: track.Name, Phase: "C", PID: pid, TS: usec(p.At),
+				Args: map[string]any{"value": p.Value},
+			})
+		}
+		out = append(out, evs)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// tcpdump-style annotated text export: one block per sampled packet,
+// one timestamped line per recorded stage, in virtual seconds with
+// nanosecond precision (matching internal/trace's renderer).
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// secs renders virtual time like the pcap text renderer: seconds with
+// nine fractional digits.
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.9f", d.Seconds())
+}
+
+// WriteText writes every retained trace as an annotated text log.
+func (t *Tracer) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# barbican packet traces: %d retained of %d sampled (%d seen, 1-in-%d, %d evicted)\n",
+		len(t.Traces()), t.Sampled(), t.Seen(), t.SampleEvery(), t.Evicted()); err != nil {
+		return err
+	}
+	for _, pt := range t.Traces() {
+		disposition := "in flight"
+		if pt.Done {
+			disposition = pt.Final
+		}
+		if _, err := fmt.Fprintf(w, "\npkt %d  %s  [%s]\n", pt.ID, pt.Desc, disposition); err != nil {
+			return err
+		}
+		for _, sp := range pt.Spans {
+			line := fmt.Sprintf("  %s  %-6s", secs(sp.Start), sp.Stage)
+			if sp.End > sp.Start {
+				line += fmt.Sprintf("  +%s", sp.End-sp.Start)
+			}
+			switch {
+			case sp.Drop != DropNone:
+				line += "  DROP " + sp.Drop.String()
+			case sp.Stage == StageFW:
+				rule := "default"
+				if sp.Rule > 0 {
+					rule = fmt.Sprintf("rule %d", sp.Rule)
+				}
+				line += fmt.Sprintf("  %s %s, %d traversed", sp.Note, rule, sp.Traversed)
+			case sp.Note != "":
+				line += "  " + sp.Note
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

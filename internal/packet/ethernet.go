@@ -42,6 +42,12 @@ type Frame struct {
 	Src     MAC
 	Type    EtherType
 	Payload []byte
+
+	// TraceID is simulator-side metadata, not part of the wire
+	// format: a nonzero value marks the frame as carrying a sampled
+	// packet-lifecycle trace (internal/obs/tracing). Marshal ignores
+	// it; Clone propagates it.
+	TraceID uint64
 }
 
 // FrameLen returns the frame length counted the way the paper counts it:

@@ -16,6 +16,7 @@ import (
 
 	"barbican/internal/hostfw"
 	"barbican/internal/nic"
+	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 )
@@ -101,6 +102,14 @@ type Host struct {
 	// (other than echo requests, which are answered automatically).
 	OnICMP func(src packet.IP, msg *packet.ICMPMessage)
 
+	// tracer records lifecycle events for frames carrying a sampled
+	// trace ID; rxTraceID holds the ID of the datagram currently in
+	// receive() so the per-protocol handlers (which only see the
+	// datagram) can finish the trace. Single simulation goroutine, so
+	// the transient field is race-free.
+	tracer    *tracing.Tracer
+	rxTraceID uint64
+
 	stats Stats
 }
 
@@ -145,6 +154,26 @@ func (h *Host) Firewall() *hostfw.Firewall { return h.fwall }
 // Stats returns a snapshot of the stack counters.
 func (h *Host) Stats() Stats { return h.stats }
 
+// SetTracer attaches (or with nil detaches) a packet-lifecycle
+// tracer: sampled datagrams record stack dispatch and app delivery.
+func (h *Host) SetTracer(tr *tracing.Tracer) { h.tracer = tr }
+
+// traceFinish terminates the trace of the datagram currently being
+// received, if any, with an app-level disposition note.
+func (h *Host) traceFinish(note string) {
+	if h.tracer != nil && h.rxTraceID != 0 {
+		h.tracer.Finish(h.rxTraceID, tracing.StageApp, note)
+	}
+}
+
+// traceDrop terminates the current datagram's trace as a stack-level
+// drop.
+func (h *Host) traceDrop(st tracing.Stage, r tracing.DropReason) {
+	if h.tracer != nil && h.rxTraceID != 0 {
+		h.tracer.Drop(h.rxTraceID, st, r)
+	}
+}
+
 // Kernel returns the simulation kernel the host runs on.
 func (h *Host) Kernel() *sim.Kernel { return h.kernel }
 
@@ -184,23 +213,30 @@ func (h *Host) receive(f *packet.Frame) {
 		}
 		return
 	}
+	if h.tracer != nil {
+		h.rxTraceID = f.TraceID
+	}
 	d, err := packet.UnmarshalDatagram(f.Payload)
 	if err != nil {
 		h.stats.RxMalformed++
+		h.traceDrop(tracing.StageStack, tracing.DropMalformed)
 		return
 	}
 	if d.Header.Dst != h.ip {
 		h.stats.RxWrongDst++
+		h.traceFinish("stack: wrong destination")
 		return
 	}
 	if h.fwall != nil {
 		s, err := packet.SummarizeIPv4(f.Payload)
 		if err != nil {
 			h.stats.RxMalformed++
+			h.traceDrop(tracing.StageStack, tracing.DropMalformed)
 			return
 		}
 		if !h.fwall.FilterIn(s) {
 			h.stats.RxFiltered++
+			h.traceDrop(tracing.StageStack, tracing.DropRuleDeny)
 			return
 		}
 	}
@@ -208,9 +244,15 @@ func (h *Host) receive(f *packet.Frame) {
 		h.stats.RxFragments++
 		whole := h.reasm.Add(d)
 		if whole == nil {
+			if h.tracer != nil && h.rxTraceID != 0 {
+				h.tracer.Point(h.rxTraceID, tracing.StageStack, "fragment held for reassembly")
+			}
 			return // incomplete; the reassembler holds (or dropped) it
 		}
 		h.stats.RxReassembled++
+		if h.tracer != nil && h.rxTraceID != 0 {
+			h.tracer.Point(h.rxTraceID, tracing.StageStack, "reassembled")
+		}
 		d = whole
 	}
 	h.stats.RxDatagrams++
@@ -231,16 +273,21 @@ func (h *Host) receiveUDP(d *packet.Datagram) {
 	u, err := packet.UnmarshalUDPDatagram(d.Header.Src, d.Header.Dst, d.Payload)
 	if err != nil {
 		h.stats.RxMalformed++
+		h.traceDrop(tracing.StageStack, tracing.DropMalformed)
 		return
 	}
 	sock, ok := h.udpSocks[u.DstPort]
 	if !ok {
 		h.stats.RxNoSocket++
 		if h.respond {
+			h.traceFinish("udp: closed port, icmp port-unreachable sent")
 			h.sendPortUnreachable(d.Header.Src)
+		} else {
+			h.traceFinish("udp: closed port, silently dropped")
 		}
 		return
 	}
+	h.traceFinish("udp: delivered to socket")
 	sock.deliver(d.Header.Src, u.SrcPort, u.Payload)
 }
 
@@ -248,23 +295,30 @@ func (h *Host) receiveTCP(d *packet.Datagram) {
 	seg, err := packet.UnmarshalTCPSegment(d.Header.Src, d.Header.Dst, d.Payload)
 	if err != nil {
 		h.stats.RxMalformed++
+		h.traceDrop(tracing.StageStack, tracing.DropMalformed)
 		return
 	}
 	key := connKey{remote: d.Header.Src, remotePort: seg.SrcPort, localPort: seg.DstPort}
 	if c, ok := h.conns[key]; ok {
+		h.traceFinish("tcp: delivered to connection")
 		c.input(seg)
 		return
 	}
 	if l, ok := h.listeners[seg.DstPort]; ok && seg.Flags.Has(packet.FlagSYN) && !seg.Flags.Has(packet.FlagACK) {
+		h.traceFinish("tcp: syn accepted by listener")
 		l.accept(d.Header.Src, seg)
 		return
 	}
 	h.stats.RxNoListener++
 	if seg.Flags.Has(packet.FlagRST) {
+		h.traceFinish("tcp: orphan rst ignored")
 		return // never respond to a RST with a RST
 	}
 	if h.respond {
+		h.traceFinish("tcp: no listener, rst sent")
 		h.sendRSTFor(d.Header.Src, seg)
+	} else {
+		h.traceFinish("tcp: no listener, silently dropped")
 	}
 }
 
@@ -272,16 +326,19 @@ func (h *Host) receiveICMP(d *packet.Datagram) {
 	m, err := packet.UnmarshalICMPMessage(d.Payload)
 	if err != nil {
 		h.stats.RxMalformed++
+		h.traceDrop(tracing.StageStack, tracing.DropMalformed)
 		return
 	}
 	if m.Type == packet.ICMPEchoRequest {
 		h.stats.EchoReplies++
+		h.traceFinish("icmp: echo request, reply sent")
 		reply := &packet.ICMPMessage{Type: packet.ICMPEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
 		h.txScratch = reply.MarshalTo(h.scratch())
 		h.send(d.Header.Src, packet.ProtoICMP, h.txScratch)
 		return
 	}
 	h.stats.ICMPReceived++
+	h.traceFinish("icmp: delivered")
 	if h.OnICMP != nil {
 		h.OnICMP(d.Header.Src, m)
 	}

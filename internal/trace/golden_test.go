@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"testing"
+	"time"
+
+	"barbican/internal/packet"
+	"barbican/internal/trace"
+)
+
+// frameOf wraps a transport payload in IPv4 + Ethernet.
+func frameOf(src, dst packet.IP, proto packet.Protocol, id uint16, transport []byte) *packet.Frame {
+	return &packet.Frame{
+		Dst:     packet.MAC{0x02, 0, 0, 0, 0, 2},
+		Src:     packet.MAC{0x02, 0, 0, 0, 0, 1},
+		Type:    packet.EtherTypeIPv4,
+		Payload: packet.NewDatagram(src, dst, proto, id, transport).Marshal(),
+	}
+}
+
+// TestFormatGolden pins the tcpdump-style renderer's exact output for
+// TCP, UDP, and ICMP records at fixed virtual timestamps, so rendering
+// changes are deliberate rather than accidental.
+func TestFormatGolden(t *testing.T) {
+	src := packet.MustIP("10.0.0.1")
+	dst := packet.MustIP("10.0.0.2")
+
+	syn := (&packet.TCPSegment{
+		SrcPort: 40000, DstPort: 80,
+		Seq: 1000, Flags: packet.FlagSYN, Window: 65535,
+	}).Marshal(src, dst)
+	synAck := (&packet.TCPSegment{
+		SrcPort: 80, DstPort: 40000,
+		Seq: 5000, Ack: 1001, Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
+	}).Marshal(dst, src)
+	data := (&packet.TCPSegment{
+		SrcPort: 40000, DstPort: 80,
+		Seq: 1001, Ack: 5001, Flags: packet.FlagPSH | packet.FlagACK, Window: 65535,
+		Payload: []byte("GET / HTTP/1.0\r\n"),
+	}).Marshal(src, dst)
+	udp := (&packet.UDPDatagram{
+		SrcPort: 4444, DstPort: 7, Payload: make([]byte, 18),
+	}).Marshal(src, dst)
+	echo := (&packet.ICMPMessage{
+		Type: packet.ICMPEchoRequest, ID: 7, Seq: 1, Payload: []byte("ping"),
+	}).Marshal()
+
+	cases := []struct {
+		name string
+		rec  trace.Record
+		want string
+	}{
+		{
+			name: "tcp syn",
+			rec: trace.Record{
+				At: 1500 * time.Microsecond, Dir: trace.TX,
+				Frame: frameOf(src, dst, packet.ProtoTCP, 1, syn),
+			},
+			want: "    0.001500 tx IP 10.0.0.1.40000 > 10.0.0.2.80: Flags [S], seq 1000, win 65535, length 0",
+		},
+		{
+			name: "tcp syn-ack",
+			rec: trace.Record{
+				At: 1700 * time.Microsecond, Dir: trace.RX,
+				Frame: frameOf(dst, src, packet.ProtoTCP, 2, synAck),
+			},
+			want: "    0.001700 rx IP 10.0.0.2.80 > 10.0.0.1.40000: Flags [S.], seq 5000, ack 1001, win 65535, length 0",
+		},
+		{
+			name: "tcp data",
+			rec: trace.Record{
+				At: 2 * time.Millisecond, Dir: trace.TX,
+				Frame: frameOf(src, dst, packet.ProtoTCP, 3, data),
+			},
+			want: "    0.002000 tx IP 10.0.0.1.40000 > 10.0.0.2.80: Flags [P.], seq 1001, ack 5001, win 65535, length 16",
+		},
+		{
+			name: "udp",
+			rec: trace.Record{
+				At: 1234567890 * time.Nanosecond, Dir: trace.TX,
+				Frame: frameOf(src, dst, packet.ProtoUDP, 4, udp),
+			},
+			want: "    1.234568 tx IP 10.0.0.1.4444 > 10.0.0.2.7: UDP, length 18",
+		},
+		{
+			name: "icmp echo",
+			rec: trace.Record{
+				At: 3 * time.Second, Dir: trace.RX,
+				Frame: frameOf(src, dst, packet.ProtoICMP, 5, echo),
+			},
+			want: "    3.000000 rx IP 10.0.0.1 > 10.0.0.2: ICMP",
+		},
+	}
+	for _, tc := range cases {
+		if got := trace.Format(tc.rec); got != tc.want {
+			t.Errorf("%s:\n got  %q\n want %q", tc.name, got, tc.want)
+		}
+	}
+}

@@ -6,21 +6,39 @@
 # Usage:
 #
 #   scripts/bench.sh [output.json]
+#   scripts/bench.sh --compare BENCH_baseline.json [output.json]
 #
 # Writes BENCH_baseline.json (or the given path) at the repo root with
 # one record per benchmark: ns/op, B/op, allocs/op, MB/s, and any
 # custom metrics (e.g. sim_Mbps from the stack bulk-transfer bench),
 # each the median of -count 3 runs.
+#
+# With --compare the fresh run is checked against the given baseline
+# and the script exits non-zero when any benchmark regresses: ns/op
+# worse than the baseline by more than NSOP_TOL percent (default 10),
+# or allocs/op above the baseline at all (the zero-alloc fast paths
+# admit no tolerance). Benchmarks present on only one side are
+# reported but never fail the gate, so adding or renaming a benchmark
+# doesn't break CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+baseline=""
+if [ "${1:-}" = "--compare" ]; then
+  baseline="${2:?--compare needs a baseline path}"
+  [ -r "$baseline" ] || { echo "bench.sh: baseline $baseline not readable" >&2; exit 2; }
+  shift 2
+fi
 out="${1:-BENCH_baseline.json}"
+if [ -n "$baseline" ] && [ "$#" -eq 0 ]; then
+  out="$(mktemp --suffix .json)"
+fi
 pkgs="./internal/nic ./internal/fw ./internal/sim ./internal/packet ./internal/measure"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench . -benchmem -count 3 -timeout 30m $pkgs | tee "$raw"
+go test -run '^$' -bench . -benchmem -count "${BENCH_COUNT:-3}" -timeout 30m $pkgs | tee "$raw"
 
 python3 - "$raw" "$out" <<'PY'
 import json, re, statistics, sys
@@ -49,3 +67,42 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(baseline)} benchmarks)")
 PY
+
+if [ -n "$baseline" ]; then
+  NSOP_TOL="${NSOP_TOL:-10}" python3 - "$baseline" "$out" <<'PY'
+import json, os, sys
+
+base_path, cur_path = sys.argv[1], sys.argv[2]
+tol = float(os.environ.get("NSOP_TOL", "10"))
+base = json.load(open(base_path))
+cur = json.load(open(cur_path))
+
+failures, notes = [], []
+for name in sorted(set(base) | set(cur)):
+    if name not in cur:
+        notes.append(f"  {name}: in baseline only (removed or renamed)")
+        continue
+    if name not in base:
+        notes.append(f"  {name}: new benchmark, no baseline")
+        continue
+    b, c = base[name], cur[name]
+    b_ns, c_ns = b.get("ns/op"), c.get("ns/op")
+    if b_ns and c_ns is not None and c_ns > b_ns * (1 + tol / 100):
+        failures.append(
+            f"  {name}: ns/op {c_ns:g} vs baseline {b_ns:g} (+{(c_ns / b_ns - 1) * 100:.1f}% > {tol:g}%)")
+    b_al, c_al = b.get("allocs/op", 0), c.get("allocs/op", 0)
+    if c_al > b_al:
+        failures.append(
+            f"  {name}: allocs/op {c_al:g} vs baseline {b_al:g} (any increase fails)")
+
+if notes:
+    print("bench compare notes:")
+    print("\n".join(notes))
+if failures:
+    print(f"bench compare FAILED against {base_path} (NSOP_TOL={tol:g}%):")
+    print("\n".join(failures))
+    sys.exit(1)
+print(f"bench compare OK against {base_path} "
+      f"({len([n for n in base if n in cur])} benchmarks, NSOP_TOL={tol:g}%)")
+PY
+fi
