@@ -3,6 +3,8 @@
 // Usage:
 //
 //	policyctl check <file>            validate a policy file and print its canonical form
+//	policyctl lint <file> [flags]     cross-rule analysis: conflicts, redundancy,
+//	                                  unreachable rules, and depth cost warnings
 //	policyctl oracle                  print the built-in Oracle-server example policy
 //	policyctl demo <file>             push the policy to a simulated EFW fleet and report
 //	policyctl explain <file> [flags]  replay one packet against the policy and predict
@@ -10,12 +12,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"barbican/internal/core"
+	"barbican/internal/fw"
 	"barbican/internal/nic"
 	"barbican/internal/packet"
 	"barbican/internal/policy"
@@ -42,6 +47,12 @@ func run(args []string) error {
 		return check(fs.Arg(1))
 	case "analyze":
 		return analyze(fs.Arg(1))
+	case "lint":
+		var flags []string
+		if fs.NArg() > 2 {
+			flags = fs.Args()[2:]
+		}
+		return lint(fs.Arg(1), flags)
 	case "oracle":
 		fmt.Print(policy.OraclePolicy)
 		return nil
@@ -81,6 +92,100 @@ func analyze(path string) error {
 		fmt.Printf("  rule %d: %s\n", f.Rule, rs.Rule(f.Rule))
 	}
 	return fmt.Errorf("%d finding(s)", len(findings))
+}
+
+// lintFinding is the JSON form of one finding.
+type lintFinding struct {
+	Severity string `json:"severity"`
+	Kind     string `json:"kind"`
+	Rule     int    `json:"rule"`
+	By       int    `json:"by,omitempty"`
+	Covering []int  `json:"covering,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
+	Message  string `json:"message"`
+	// SustainablePPS predicts the packet rate the selected card can
+	// sustain for packets that traverse to this rule's depth (Fig. 2's
+	// cost model); set for depth findings only.
+	SustainablePPS float64 `json:"sustainablePps,omitempty"`
+}
+
+// lint runs the cross-rule policy linter: conflicting, shadowed,
+// redundant, and unreachable rules are order/coverage bugs; depth
+// findings translate rule position into the card's sustainable packet
+// rate via the Fig. 2 cost model. Exit status is 1 when any
+// error-severity finding (conflict, shadowed, unreachable) is present.
+func lint(path string, args []string) error {
+	fs := flag.NewFlagSet("policyctl lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	device := fs.String("device", "efw", "card profile for depth predictions: standard|efw|adf|nextgen")
+	depthWarn := fs.Int("depth-warn", 16, "note reachable rules deeper than this position (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := readPolicy(path)
+	if err != nil {
+		return err
+	}
+	rs, err := policy.Parse(text)
+	if err != nil {
+		return err
+	}
+	profile, err := nic.ProfileByName(*device)
+	if err != nil {
+		return err
+	}
+
+	findings := rs.Lint(fw.LintOptions{DepthWarn: *depthWarn})
+	out := make([]lintFinding, 0, len(findings))
+	errors := 0
+	for _, f := range findings {
+		lf := lintFinding{
+			Severity: f.Kind.Severity().String(),
+			Kind:     f.Kind.String(),
+			Rule:     f.Rule,
+			By:       f.By,
+			Covering: f.Covering,
+			Depth:    f.Depth,
+			Message:  f.String(),
+		}
+		if f.Kind == fw.FindingDepth && profile.CapacityUnits > 0 {
+			lf.SustainablePPS = profile.CapacityUnits / profile.Cost(f.Depth, 0)
+		}
+		if f.Kind.Severity() == fw.SeverityError {
+			errors++
+		}
+		out = append(out, lf)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, lf := range out {
+			fmt.Printf("%s: %s\n", lf.Severity, lf.Message)
+			if lf.By != 0 {
+				fmt.Printf("  rule %d: %s\n", lf.By, rs.Rule(lf.By))
+			}
+			for _, j := range lf.Covering {
+				fmt.Printf("  rule %d: %s\n", j, rs.Rule(j))
+			}
+			if lf.Rule != 0 && lf.Kind != "deep" {
+				fmt.Printf("  rule %d: %s\n", lf.Rule, rs.Rule(lf.Rule))
+			}
+			if lf.SustainablePPS > 0 {
+				fmt.Printf("  %s sustains ≈ %.0f pkt/s for packets walking %d rules\n",
+					profile.Name, lf.SustainablePPS, lf.Depth)
+			}
+		}
+		fmt.Printf("# %d rules, %d finding(s)\n", rs.Len(), len(out))
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d error-severity finding(s)", errors)
+	}
+	return nil
 }
 
 func readPolicy(path string) (string, error) {
@@ -158,7 +263,13 @@ func demo(path string) error {
 	for _, e := range srv.Audit() {
 		fmt.Println(e)
 	}
-	for name, ph := range fleet {
+	names := make([]string, 0, len(fleet))
+	for name := range fleet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ph := fleet[name]
 		fmt.Printf("%-10s installed v%d (%d rules on card)\n",
 			name, ph.agent.InstalledVersion(), ph.host.NIC().RuleSet().Len())
 	}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"barbican/internal/core"
@@ -73,8 +74,13 @@ func run() error {
 	for _, e := range srv.Audit() {
 		fmt.Println(" ", e)
 	}
-	for name, a := range agents {
-		fmt.Printf("%s: enforcing v%d\n", name, a.InstalledVersion())
+	enforcing := make([]string, 0, len(agents))
+	for name := range agents {
+		enforcing = append(enforcing, name)
+	}
+	sort.Strings(enforcing)
+	for _, name := range enforcing {
+		fmt.Printf("%s: enforcing v%d\n", name, agents[name].InstalledVersion())
 	}
 
 	// The same measurement now traverses a 30+ rule policy on the card.

@@ -1,0 +1,206 @@
+// Package analysis is barbican's static-analysis suite: a small,
+// self-contained go/analysis-style framework plus the project-specific
+// analyzers that machine-enforce the contracts DESIGN.md states in
+// prose — no wall-clock reads in deterministic packages (§7), no
+// unseeded global randomness, no iteration-order leaks into exported
+// artifacts, exhaustive drop-reason/finding-kind taxonomies, and the
+// zero-allocation fast paths (§7, bench.sh gate).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, testdata fixtures with "// want"
+// comments) but depends only on the standard library's go/ast,
+// go/parser and go/types, so the repository stays dependency-free.
+// Analyzers are driven by cmd/barbicanvet and wired into CI.
+//
+// # Annotation grammar
+//
+// Two comment directives steer the suite, both attached to a line
+// (trailing comment) or to the line directly above:
+//
+//	//barbican:allow <check>[,<check>...]   suppress findings of the
+//	                                        named checks on that line
+//	//barbican:noalloc                      (on a function's doc
+//	                                        comment) the function's
+//	                                        body must not contain any
+//	                                        heap-escaping values per
+//	                                        go build -gcflags=-m
+//	//barbican:exhaustive                   (on a switch) enforce full
+//	                                        enum coverage even though
+//	                                        the switch has a default
+//
+// The allow check names are the analyzer names ("walltime",
+// "seededrand", "maporder", "exhaustive") plus "alloc" for the
+// noalloc escape-analysis gate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in
+	// //barbican:allow comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed (non-test) files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Types returns the type-checked package.
+func (p *Pass) Types() *types.Package { return p.Pkg.Types }
+
+// Info returns the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether the line holding pos (or the line directly
+// above it) carries a //barbican:<tag> directive.
+func (p *Pass) Annotated(pos token.Pos, tag string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	lines := p.Pkg.directives[tag]
+	if lines == nil {
+		return false
+	}
+	fl := lines[position.Filename]
+	return fl[position.Line] || fl[position.Line-1]
+}
+
+// A Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// directiveRE matches barbican comment directives. The directive must
+// start its own comment ("//barbican:allow walltime"), mirroring
+// go:build and friends. Anything after " -- " is a human reason and
+// is ignored by the machinery:
+//
+//	//barbican:allow walltime -- speedup telemetry only
+var directiveRE = regexp.MustCompile(`^//barbican:([a-z]+)(?:[ \t]+(.*))?$`)
+
+// directives indexes a package's //barbican: comments:
+// tag -> filename -> line set. For "allow", the named checks become
+// separate tags ("allow walltime" -> tag "allow:walltime").
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[string]map[int]bool {
+	out := make(map[string]map[string]map[int]bool)
+	mark := func(tag string, pos token.Position) {
+		byFile := out[tag]
+		if byFile == nil {
+			byFile = make(map[string]map[int]bool)
+			out[tag] = byFile
+		}
+		lines := byFile[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]bool)
+			byFile[pos.Filename] = lines
+		}
+		lines[pos.Line] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				tag, args := m[1], m[2]
+				if reason := strings.Index(args, "--"); reason >= 0 {
+					args = args[:reason]
+				}
+				if tag == "allow" {
+					for _, check := range strings.FieldsFunc(args, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						mark("allow:"+check, pos)
+					}
+					continue
+				}
+				mark(tag, pos)
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether a finding of the named check at pos is
+// suppressed by a //barbican:allow comment on its line or the line
+// above.
+func (pkg *Package) allowed(check string, pos token.Position) bool {
+	byFile := pkg.directives["allow:"+check]
+	if byFile == nil {
+		return false
+	}
+	lines := byFile[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// Run executes the analyzers against each package and returns the
+// surviving findings sorted by position. Findings on lines carrying a
+// matching //barbican:allow directive are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if !pkg.allowed(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches fixture expectations: `// want "regexp"` with one or
+// more quoted patterns (double quotes or backticks), mirroring
+// x/tools analysistest.
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+
+var wantPatternRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type wantExpectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads the fixture package in dir under importPath, runs
+// the analyzer, and compares its findings against the fixture's
+// `// want "re"` comments: every finding must be expected and every
+// expectation must fire.
+func RunFixture(t *testing.T, dir, importPath string, a *Analyzer) {
+	t.Helper()
+	loader := NewLoader()
+	pkg, err := loader.Load(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, importPath, err)
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pm := range wantPatternRE.FindAllStringSubmatch(m[1], -1) {
+					unquoted := pm[2] // backtick form: literal, no escapes
+					if pm[2] == "" && strings.HasPrefix(pm[0], `"`) {
+						var err error
+						unquoted, err = unescapeWant(pm[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+						}
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unquoted, err)
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unescapeWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+func claimWant(wants []*wantExpectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMaporderFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maporder")
+	RunFixture(t, dir, "fixture/maporder", Maporder())
+}

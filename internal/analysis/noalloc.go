@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The noalloc gate turns the bench.sh allocs/op contract into a
+// build-time check: functions annotated //barbican:noalloc (the
+// BenchmarkRxPath and BenchmarkFloodMarshal hot paths) must contain no
+// heap-escaping values according to the compiler's own escape
+// analysis (go build -gcflags=-m). Escape analysis is a superset of
+// what the benchmarks observe — it flags cold branches too — so
+// deliberate off-fast-path allocations (freelist refills, traced-only
+// branches) carry a line-level //barbican:allow alloc with a reason.
+// Unlike the benchmark gate this fails deterministically, on any
+// machine, before anything runs.
+
+// noallocFunc is one annotated function's source extent.
+type noallocFunc struct {
+	pkg       *Package
+	name      string
+	file      string // absolute, cleaned
+	startLine int
+	endLine   int
+}
+
+// escapeLineRE matches the compiler diagnostics we care about, e.g.
+// "internal/nic/nic.go:498:8: &pendingIngress{} escapes to heap".
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// noallocTargets scans the packages for functions whose doc comment
+// carries //barbican:noalloc.
+func noallocTargets(pkgs []*Package) []noallocFunc {
+	var targets []noallocFunc
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				annotated := false
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//barbican:noalloc" {
+						annotated = true
+						break
+					}
+				}
+				if !annotated {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				abs, err := filepath.Abs(start.Filename)
+				if err != nil {
+					abs = start.Filename
+				}
+				targets = append(targets, noallocFunc{
+					pkg:       pkg,
+					name:      funcDisplayName(fd),
+					file:      filepath.Clean(abs),
+					startLine: start.Line,
+					endLine:   end.Line,
+				})
+			}
+		}
+	}
+	return targets
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// NoAllocGate runs the escape-analysis check for every
+// //barbican:noalloc function in pkgs. moduleDir is the module root
+// the compiler runs in; build patterns default to ./... so the escape
+// output covers every package. The returned diagnostics are already
+// filtered through //barbican:allow alloc line annotations.
+func NoAllocGate(moduleDir string, pkgs []*Package) ([]Diagnostic, error) {
+	targets := noallocTargets(pkgs)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	out, err := escapeAnalysis(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+
+	byFile := make(map[string][]noallocFunc)
+	for _, t := range targets {
+		byFile[t.file] = append(byFile[t.file], t)
+	}
+
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		file = filepath.Clean(file)
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, t := range byFile[file] {
+			if lineNo < t.startLine || lineNo > t.endLine {
+				continue
+			}
+			pos := token.Position{Filename: file, Line: lineNo, Column: col}
+			if t.pkg.allowed("alloc", pos) {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d: %s", file, lineNo, msg)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			diags = append(diags, Diagnostic{
+				Analyzer: "noalloc",
+				Pos:      pos,
+				Message: fmt.Sprintf("%s is //barbican:noalloc but escape analysis reports %q; keep the fast path allocation-free or annotate the line //barbican:allow alloc with a reason",
+					t.name, msg),
+			})
+		}
+	}
+	return diags, nil
+}
+
+// escapeAnalysis compiles the module with -gcflags=-m and returns the
+// compiler diagnostics. Build outputs are discarded (multi-package
+// go build compiles as a check only); the build cache replays the
+// diagnostics on unchanged packages, so repeat runs are cheap.
+func escapeAnalysis(moduleDir string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = moduleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go build -gcflags=-m in %s: %w\n%s", moduleDir, err, out)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoAllocGateFixture(t *testing.T) {
+	moduleDir, err := filepath.Abs(filepath.Join("testdata", "noallocmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	loader.SetModule(moduleDir, "noallocmod")
+	pkg, err := loader.Load(moduleDir, "noallocmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := NoAllocGate(moduleDir, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one (for Escapes)", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "Escapes") || !strings.Contains(d.Message, "moved to heap") {
+		t.Errorf("diagnostic = %s, want it to blame Escapes for a moved-to-heap value", d)
+	}
+	if filepath.Base(d.Pos.Filename) != "alloc.go" || d.Pos.Line == 0 {
+		t.Errorf("diagnostic position = %v, want a line inside alloc.go", d.Pos)
+	}
+}
+
+func TestNoAllocTargetsFindAnnotations(t *testing.T) {
+	moduleDir, err := filepath.Abs(filepath.Join("testdata", "noallocmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	loader.SetModule(moduleDir, "noallocmod")
+	pkg, err := loader.Load(moduleDir, "noallocmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := noallocTargets([]*Package{pkg})
+	var names []string
+	for _, tg := range targets {
+		names = append(names, tg.name)
+	}
+	want := []string{"Escapes", "Clean", "AllowedColdPath"}
+	if len(names) != len(want) {
+		t.Fatalf("targets = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", names, want)
+		}
+	}
+}

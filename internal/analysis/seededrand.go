@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededrandAllowed names the math/rand package-level functions that
+// construct explicitly seeded generators — the only sanctioned way to
+// get randomness anywhere in the repository.
+var seededrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Seededrand returns the analyzer that forbids the global math/rand
+// convenience functions (rand.Intn, rand.Float64, rand.Shuffle, ...)
+// in non-test code. The global source is process-seeded, so any use
+// makes a run irreproducible; experiments must draw from the kernel's
+// seeded *rand.Rand (sim.Kernel.Rand) or another explicitly seeded
+// generator. math/rand/v2 has no seedable global at all, so its
+// top-level functions are forbidden outright.
+func Seededrand() *Analyzer {
+	return &Analyzer{
+		Name: "seededrand",
+		Doc:  "forbid global math/rand top-level functions; only explicitly seeded *rand.Rand sources",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files() {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn, ok := pass.Info().Uses[id].(*types.PkgName)
+					if !ok {
+						return true
+					}
+					// Only package-level functions are process-seeded;
+					// type references like rand.Rand are fine.
+					if _, ok := pass.Info().Uses[sel.Sel].(*types.Func); !ok {
+						return true
+					}
+					switch pn.Imported().Path() {
+					case "math/rand":
+						if !seededrandAllowed[sel.Sel.Name] {
+							pass.Reportf(sel.Pos(),
+								"global math/rand.%s draws from the process-seeded source; use an explicitly seeded *rand.Rand (sim.Kernel.Rand)",
+								sel.Sel.Name)
+						}
+					case "math/rand/v2":
+						if !seededrandAllowed[sel.Sel.Name] {
+							pass.Reportf(sel.Pos(),
+								"math/rand/v2.%s cannot be seeded; use an explicitly seeded *rand.Rand (sim.Kernel.Rand)",
+								sel.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}

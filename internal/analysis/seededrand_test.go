@@ -1,0 +1,11 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSeededrandFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "seededrand")
+	RunFixture(t, dir, "fixture/seededrand", Seededrand())
+}

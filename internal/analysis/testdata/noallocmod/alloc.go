@@ -1,0 +1,40 @@
+// Package noallocmod is the fixture module for the escape-analysis
+// gate: it is compiled with go build -gcflags=-m by the noalloc test.
+package noallocmod
+
+// Escapes violates its annotation: the local is moved to the heap.
+//
+//barbican:noalloc
+func Escapes() *int {
+	x := 42
+	return &x
+}
+
+// Clean honors the annotation: everything stays on the stack.
+//
+//barbican:noalloc
+func Clean(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// AllowedColdPath allocates on a refill branch that the fast path
+// never takes; the line-level annotation documents it.
+//
+//barbican:noalloc
+func AllowedColdPath(trigger bool) *int {
+	if trigger {
+		p := new(int) //barbican:allow alloc -- cold-path freelist refill
+		return p
+	}
+	return nil
+}
+
+// Unannotated may allocate freely; the gate must not look at it.
+func Unannotated() *int {
+	y := 7
+	return &y
+}

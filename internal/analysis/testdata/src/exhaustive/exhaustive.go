@@ -1,0 +1,110 @@
+// Package exhaustive is the fixture for the enum-coverage check. The
+// test enforces the spec exhaustive.Reason with sentinel NumReasons.
+package exhaustive
+
+// Reason mimics a drop-reason taxonomy.
+type Reason uint8
+
+const (
+	None Reason = iota
+	Deny
+	Overflow
+	Malformed
+
+	NumReasons // sentinel
+)
+
+// otherType must never be conflated with Reason.
+type otherType int
+
+const otherA otherType = 1
+
+func completeSwitch(r Reason) int {
+	switch r {
+	case None:
+		return 0
+	case Deny:
+		return 1
+	case Overflow:
+		return 2
+	case Malformed:
+		return 3
+	}
+	return -1
+}
+
+func missingCase(r Reason) int {
+	switch r { // want `switch over exhaustive.Reason is missing cases: Overflow, Malformed`
+	case None:
+		return 0
+	case Deny:
+		return 1
+	}
+	return -1
+}
+
+func defaultExemptsUnlessAnnotated(r Reason) int {
+	switch r {
+	case None:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func annotatedDefaultIsChecked(r Reason) string {
+	//barbican:exhaustive
+	switch r { // want `switch over exhaustive.Reason is missing cases: Overflow, Malformed`
+	case None:
+		return "none"
+	case Deny:
+		return "deny"
+	default:
+		return "?"
+	}
+}
+
+func multiValueCase(r Reason) bool {
+	switch r {
+	case None, Deny:
+		return false
+	case Overflow, Malformed:
+		return true
+	}
+	return false
+}
+
+var completeTable = [...]string{
+	None:      "none",
+	Deny:      "deny",
+	Overflow:  "overflow",
+	Malformed: "malformed",
+}
+
+var missingTable = [...]string{ // want `table keyed by exhaustive.Reason is missing entries: Overflow, Malformed`
+	None: "none",
+	Deny: "deny",
+}
+
+var missingMap = map[Reason]int{ // want `table keyed by exhaustive.Reason is missing entries: Malformed`
+	None:     0,
+	Deny:     1,
+	Overflow: 2,
+}
+
+var allowedPartial = map[Reason]int{ //barbican:allow exhaustive -- deliberate subset
+	Deny: 1,
+}
+
+// Literals not keyed by the enum stay out of scope.
+var unrelated = map[otherType]string{otherA: "a"}
+
+var plainSlice = []string{"x", "y"}
+
+func otherSwitch(o otherType) int {
+	switch o {
+	case otherA:
+		return 1
+	}
+	return 0
+}

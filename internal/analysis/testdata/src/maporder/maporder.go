@@ -1,0 +1,107 @@
+// Package maporder is the fixture for the iteration-order check.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func escapesUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order escapes into "out"`
+	}
+	return out
+}
+
+func sortedAfterLoop(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedViaSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func sortedByLocalHelper(m map[float64]bool) []float64 {
+	var xs []float64
+	for x := range m {
+		xs = append(xs, x)
+	}
+	sortFloats(xs)
+	return xs
+}
+
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
+}
+
+func sortedInOuterBlock(m map[string]int, cond bool) []string {
+	var out []string
+	if cond {
+		for k := range m {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writesInsideLoop(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `call to method WriteString inside a map range writes output`
+	}
+}
+
+func printsInsideLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt-style call Println inside a map range writes output`
+	}
+}
+
+func allowedAggregate(m map[string]int) int {
+	max := 0
+	var keys []string
+	for k, v := range m {
+		if v > max {
+			max = v
+		}
+		keys = append(keys, k) //barbican:allow maporder -- fixture escape hatch
+	}
+	_ = keys
+	return max
+}
+
+func loopLocalIsFine(m map[string]int) int {
+	total := 0
+	for k := range m {
+		var parts []string
+		parts = append(parts, k)
+		total += len(parts)
+	}
+	return total
+}
+
+func mapToMapIsFine(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func rangeOverSliceIsFine(s []string, b *strings.Builder) {
+	for _, v := range s {
+		b.WriteString(v)
+	}
+}

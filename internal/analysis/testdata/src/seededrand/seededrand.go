@@ -1,0 +1,29 @@
+// Package seededrand is the fixture for the global-randomness check.
+package seededrand
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `global math/rand.Intn draws from the process-seeded source`
+	_ = rand.Float64()                 // want `global math/rand.Float64 draws from the process-seeded source`
+	_ = mrand.Int63()                  // want `global math/rand.Int63 draws from the process-seeded source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle draws from the process-seeded source`
+	var p []int
+	p = rand.Perm(4) // want `global math/rand.Perm draws from the process-seeded source`
+	_ = p
+}
+
+func allowed() {
+	//barbican:allow seededrand -- fixture demonstrates the escape hatch
+	_ = rand.Intn(10)
+}
+
+func fine(seed int64) *rand.Rand {
+	// Explicitly seeded construction is the sanctioned pattern.
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10) // methods on a seeded *rand.Rand are fine
+	return r
+}

@@ -1,0 +1,8 @@
+// Package other is outside the deterministic set: the walltime
+// analyzer must stay silent here even though it reads the host clock.
+package other
+
+import "time"
+
+// Timestamp is legitimate at the CLI boundary.
+func Timestamp() time.Time { return time.Now() }

@@ -1,0 +1,41 @@
+// Package sim is a walltime fixture standing in for a deterministic
+// package: the test registers its import path in the analyzer config.
+package sim
+
+import (
+	"time"
+	tt "time"
+)
+
+// Clock is a stand-in virtual clock.
+type Clock struct{ now time.Duration }
+
+func bad() time.Time {
+	t := time.Now()                // want `time.Now reads the host clock`
+	time.Sleep(time.Millisecond)   // want `time.Sleep blocks on the host clock`
+	_ = time.Since(t)              // want `time.Since reads the host clock`
+	_ = time.Until(t)              // want `time.Until reads the host clock`
+	_ = tt.Now()                   // want `time.Now reads the host clock`
+	_ = time.After(time.Second)    // want `time.After starts a host-clock timer`
+	_ = time.NewTimer(time.Second) // want `time.NewTimer starts a host-clock timer`
+	tk := time.NewTicker(1)        // want `time.NewTicker starts a host-clock ticker`
+	tk.Stop()
+	return t
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //barbican:allow walltime
+}
+
+func allowedLineAbove() time.Time {
+	//barbican:allow walltime -- per-Run accounting pair, speedup telemetry only
+	return time.Now()
+}
+
+func fine(c *Clock) time.Duration {
+	// Duration arithmetic and constants never touch the host clock.
+	d := 5 * time.Millisecond
+	c.now += d
+	_ = time.Duration(42).Round(time.Second)
+	return c.now
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages lists the import paths whose behavior must be
+// a pure function of the simulation inputs (DESIGN.md §7): everything
+// they compute has to come from the kernel's virtual clock and seeded
+// RNG, never from the host. The walltime analyzer enforces it.
+var DeterministicPackages = []string{
+	"barbican/internal/sim",
+	"barbican/internal/core",
+	"barbican/internal/nic",
+	"barbican/internal/fw",
+	"barbican/internal/stack",
+	"barbican/internal/link",
+	"barbican/internal/vpg",
+	"barbican/internal/experiment",
+	"barbican/internal/runner",
+}
+
+// walltimeForbidden names the package time functions that read or wait
+// on the host clock. time.Duration arithmetic and the Duration
+// constants remain free — they are values, not clock reads.
+var walltimeForbidden = map[string]string{
+	"Now":       "reads the host clock",
+	"Since":     "reads the host clock",
+	"Until":     "reads the host clock",
+	"Sleep":     "blocks on the host clock",
+	"Tick":      "starts a host-clock ticker",
+	"After":     "starts a host-clock timer",
+	"AfterFunc": "starts a host-clock timer",
+	"NewTimer":  "starts a host-clock timer",
+	"NewTicker": "starts a host-clock ticker",
+}
+
+// Walltime returns the analyzer that forbids host-clock reads inside
+// the given deterministic packages. A byte-identical serial/parallel
+// contract cannot survive a single time.Now in a result path, so the
+// escape hatch (//barbican:allow walltime) is reserved for the
+// kernel's per-Run wall-clock accounting pair, which feeds speedup
+// telemetry only, never simulated state.
+func Walltime(deterministic []string) *Analyzer {
+	paths := make(map[string]bool, len(deterministic))
+	for _, p := range deterministic {
+		paths[p] = true
+	}
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "forbid time.Now/Since/Sleep and host-clock timers in deterministic packages",
+		Run: func(pass *Pass) error {
+			if pass.Types() == nil || !paths[pass.Types().Path()] {
+				return nil
+			}
+			for _, f := range pass.Files() {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					reason, bad := walltimeForbidden[sel.Sel.Name]
+					if !bad || !isPackageRef(pass, sel.X, "time") {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"time.%s %s; deterministic package %s must use the kernel's virtual clock (sim.Kernel.Now)",
+						sel.Sel.Name, reason, pass.Types().Path())
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// isPackageRef reports whether expr is a reference to the package
+// imported from the given path (alias-safe: it resolves the identifier
+// to its PkgName object rather than comparing spelling).
+func isPackageRef(pass *Pass, expr ast.Expr, path string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info().Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWalltimeFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "walltime", "sim")
+	RunFixture(t, dir, "fixture/sim", Walltime([]string{"fixture/sim"}))
+}
+
+func TestWalltimeIgnoresOtherPackages(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "walltime", "other")
+	// The fixture calls time.Now with no want comment: the analyzer
+	// must stay silent because the package is not in the set.
+	RunFixture(t, dir, "fixture/other", Walltime([]string{"fixture/sim"}))
+}
+
+func TestDeterministicPackageSet(t *testing.T) {
+	// The determinism contract (DESIGN.md §7) names these packages;
+	// losing one from the config would silently disable the check.
+	want := []string{
+		"barbican/internal/sim",
+		"barbican/internal/core",
+		"barbican/internal/nic",
+		"barbican/internal/fw",
+		"barbican/internal/stack",
+		"barbican/internal/link",
+		"barbican/internal/vpg",
+		"barbican/internal/experiment",
+		"barbican/internal/runner",
+	}
+	have := make(map[string]bool, len(DeterministicPackages))
+	for _, p := range DeterministicPackages {
+		have[p] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("DeterministicPackages is missing %s", p)
+		}
+	}
+}

@@ -25,17 +25,39 @@ const (
 	// the policy likely does not do what its author intended.
 	FindingShadowed FindingKind = iota + 1
 	// FindingRedundant: an earlier rule with the same action covers this
-	// rule entirely; removing it shortens every traversal that passes it.
+	// rule entirely (a single rule, or — from Lint — the union of several);
+	// removing it shortens every traversal that passes it.
 	FindingRedundant
+	// FindingConflict: an earlier rule with the opposite action overlaps
+	// this rule without either containing the other. The packets in the
+	// overlap take the earlier action; the partial overlap makes that
+	// order dependence easy to miss when editing either rule.
+	FindingConflict
+	// FindingUnreachable: the union of earlier rules with mixed actions
+	// covers this rule entirely, so it never fires — but unlike
+	// FindingRedundant, deleting it is not obviously semantics-free to a
+	// reader, because no single earlier rule explains it.
+	FindingUnreachable
+	// FindingDepth: the rule sits deeper than the configured threshold;
+	// per Fig. 2 every packet that traverses to depth d pays
+	// BaseCost + d x PerRuleCost on the card, so depth is bandwidth.
+	FindingDepth
 )
 
 // String names the finding kind.
 func (k FindingKind) String() string {
+	//barbican:exhaustive
 	switch k {
 	case FindingShadowed:
 		return "shadowed"
 	case FindingRedundant:
 		return "redundant"
+	case FindingConflict:
+		return "conflicting"
+	case FindingUnreachable:
+		return "unreachable"
+	case FindingDepth:
+		return "deep"
 	default:
 		return fmt.Sprintf("finding(%d)", int(k))
 	}
@@ -46,13 +68,40 @@ type Finding struct {
 	Kind FindingKind
 	// Rule is the 1-based index of the affected rule.
 	Rule int
-	// By is the 1-based index of the covering rule.
+	// By is the 1-based index of the covering or conflicting rule, when a
+	// single rule is decisive (shadowed, redundant, conflicting).
 	By int
+	// Covering lists the 1-based indices of the earlier rules whose union
+	// covers this rule, for Lint's redundant/unreachable findings.
+	Covering []int
+	// Depth is the rule's position, for FindingDepth.
+	Depth int
 }
 
 // String renders the finding.
 func (f Finding) String() string {
-	return fmt.Sprintf("rule %d is %v (covered by rule %d)", f.Rule, f.Kind, f.By)
+	switch f.Kind {
+	case FindingConflict:
+		return fmt.Sprintf("rule %d conflicts with rule %d (partial overlap, opposite actions; rule %d wins the overlap)", f.Rule, f.By, f.By)
+	case FindingDepth:
+		return fmt.Sprintf("rule %d sits at depth %d; packets matching it pay the full traversal cost (Fig. 2)", f.Rule, f.Depth)
+	default:
+		if len(f.Covering) > 0 {
+			return fmt.Sprintf("rule %d is %v (covered by the union of rules %s)", f.Rule, f.Kind, joinInts(f.Covering))
+		}
+		return fmt.Sprintf("rule %d is %v (covered by rule %d)", f.Rule, f.Kind, f.By)
+	}
+}
+
+func joinInts(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
 }
 
 // Analyze reports shadowed and redundant rules: any rule whose entire

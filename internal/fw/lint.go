@@ -1,0 +1,283 @@
+package fw
+
+import "barbican/internal/packet"
+
+// This file extends the pairwise Analyze into a cross-rule linter. A
+// rule's match space is modeled as an axis-aligned box over integer
+// intervals (direction, protocol, source/destination address, port
+// presence, source/destination port); coverage questions then become
+// exact box-subtraction problems:
+//
+//   - conflict:   an earlier rule with the opposite action overlaps this
+//     one without either containing the other, so which action wins
+//     depends on rule order in a way the partial overlap hides.
+//   - redundant:  the union of earlier same-action rules covers this
+//     rule entirely; it never fires and removing it is semantics-free.
+//   - unreachable: the union of ALL earlier rules covers this rule; it
+//     never fires, but because the covering rules mix actions, removal
+//     needs thought (the rule documents intent the earlier rules already
+//     decide).
+//
+// Boxes are exact on the coordinates a real packet can have; coordinate
+// combinations no packet exhibits (an ICMP packet with ports) cannot be
+// produced by validated rules, so subtraction never proves coverage
+// through impossible space. VPG rules match sealed traffic on addresses
+// only and are modeled as a separate class; VPG-versus-plain pairs are
+// skipped conservatively (they match disjoint traffic inbound).
+
+// Severity ranks a finding for exit-code and display purposes.
+type Severity int
+
+// Severity levels, ascending.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return "severity(?)"
+	}
+}
+
+// Severity maps a finding kind to its severity: order-dependence bugs
+// (conflict, shadowed, unreachable) are errors, removable redundancy is
+// a warning, and depth notes are informational.
+func (k FindingKind) Severity() Severity {
+	switch k {
+	case FindingConflict, FindingShadowed, FindingUnreachable:
+		return SeverityError
+	case FindingRedundant:
+		return SeverityWarning
+	case FindingDepth:
+		return SeverityInfo
+	default:
+		return SeverityError
+	}
+}
+
+// LintOptions configures RuleSet.Lint.
+type LintOptions struct {
+	// DepthWarn, when positive, emits an informational finding for every
+	// reachable rule deeper than this position: per Fig. 2 each packet
+	// that traverses to depth d costs BaseCost + d x PerRuleCost on the
+	// card, so depth is bandwidth.
+	DepthWarn int
+}
+
+// Lint runs the cross-rule analysis and returns findings ordered by
+// rule position (and, within a rule, by the covering/conflicting rule's
+// position). The pairwise Analyze remains available for the classic
+// single-cover report; Lint subsumes it.
+func (rs *RuleSet) Lint(opts LintOptions) []Finding {
+	var findings []Finding
+	boxes := make([]matchBox, len(rs.rules))
+	for i := range rs.rules {
+		boxes[i] = ruleBox(&rs.rules[i])
+	}
+
+	for i := 1; i <= len(rs.rules); i++ {
+		ri := &rs.rules[i-1]
+		reachable := true
+
+		// Exact pairwise cover first: it names the single decisive rule,
+		// which is the most actionable form of the finding.
+		pairwise := 0
+		for j := 1; j < i; j++ {
+			if sameClass(ri, &rs.rules[j-1]) && covers(&rs.rules[j-1], ri) {
+				pairwise = j
+				break
+			}
+		}
+		switch {
+		case pairwise != 0:
+			reachable = false
+			kind := FindingRedundant
+			if rs.rules[pairwise-1].Action != ri.Action {
+				kind = FindingShadowed
+			}
+			findings = append(findings, Finding{Kind: kind, Rule: i, By: pairwise})
+		default:
+			// Union coverage: same-action earlier rules first (redundant),
+			// then all earlier rules (unreachable).
+			if covering, ok := unionCovers(boxes, rs.rules, i, true); ok {
+				reachable = false
+				findings = append(findings, Finding{Kind: FindingRedundant, Rule: i, Covering: covering})
+			} else if covering, ok := unionCovers(boxes, rs.rules, i, false); ok {
+				reachable = false
+				findings = append(findings, Finding{Kind: FindingUnreachable, Rule: i, Covering: covering})
+			}
+		}
+
+		if reachable {
+			for j := 1; j < i; j++ {
+				rj := &rs.rules[j-1]
+				if rj.Action == ri.Action || !sameClass(ri, rj) {
+					continue
+				}
+				if boxes[j-1].overlaps(boxes[i-1]) && !covers(rj, ri) && !covers(ri, rj) {
+					findings = append(findings, Finding{Kind: FindingConflict, Rule: i, By: j})
+				}
+			}
+			if opts.DepthWarn > 0 && i > opts.DepthWarn {
+				findings = append(findings, Finding{Kind: FindingDepth, Rule: i, Depth: i})
+			}
+		}
+	}
+	return findings
+}
+
+// sameClass reports whether two rules compete for the same traffic
+// class. VPG rules match sealed envelopes, plain rules cleartext; cross
+// pairs are skipped conservatively.
+func sameClass(a, b *Rule) bool { return a.IsVPG() == b.IsVPG() }
+
+// matchBox is a rule's match space as a product of inclusive integer
+// intervals. Dimension order: direction, protocol, source address,
+// destination address, port presence, source port, destination port.
+type matchBox [7][2]uint32
+
+const boxDims = 7
+
+func interval(lo, hi uint32) [2]uint32 { return [2]uint32{lo, hi} }
+
+// ruleBox renders a validated rule's match space as a box. VPG rules
+// match on direction and addresses only; their remaining dimensions are
+// full so boxes of the two classes stay comparable (class separation is
+// enforced by sameClass, not by the box).
+func ruleBox(r *Rule) matchBox {
+	var b matchBox
+	switch r.Direction {
+	case Both:
+		b[0] = interval(uint32(In), uint32(Out))
+	default:
+		b[0] = interval(uint32(r.Direction), uint32(r.Direction))
+	}
+	b[1] = interval(0, 255)
+	if !r.IsVPG() && r.Proto != 0 {
+		b[1] = interval(uint32(r.Proto), uint32(r.Proto))
+	}
+	b[2] = prefixInterval(r.Src)
+	b[3] = prefixInterval(r.Dst)
+	b[4] = interval(0, 1)
+	b[5] = interval(0, 65535)
+	b[6] = interval(0, 65535)
+	if !r.IsVPG() {
+		if !r.SrcPorts.Any() || !r.DstPorts.Any() {
+			// A ported rule only matches packets that carry ports.
+			b[4] = interval(1, 1)
+		}
+		if !r.SrcPorts.Any() {
+			b[5] = interval(uint32(r.SrcPorts.Lo), uint32(r.SrcPorts.Hi))
+		}
+		if !r.DstPorts.Any() {
+			b[6] = interval(uint32(r.DstPorts.Lo), uint32(r.DstPorts.Hi))
+		}
+	}
+	return b
+}
+
+// prefixInterval returns the [lo, hi] address range a prefix spans.
+func prefixInterval(p packet.Prefix) [2]uint32 {
+	if p.Bits <= 0 {
+		return interval(0, ^uint32(0))
+	}
+	mask := ^uint32(0) << (32 - p.Bits)
+	lo := p.Addr.Uint32() & mask
+	return interval(lo, lo|^mask)
+}
+
+func (b matchBox) overlaps(o matchBox) bool {
+	for d := 0; d < boxDims; d++ {
+		if b[d][1] < o[d][0] || o[d][1] < b[d][0] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b matchBox) contains(o matchBox) bool {
+	for d := 0; d < boxDims; d++ {
+		if b[d][0] > o[d][0] || b[d][1] < o[d][1] {
+			return false
+		}
+	}
+	return true
+}
+
+// subtract returns boxes covering b minus a, appended to out. The
+// standard axis sweep peels at most two slabs per dimension; the pieces
+// are disjoint and their union is exactly b \ a.
+func (b matchBox) subtract(a matchBox, out []matchBox) []matchBox {
+	if !b.overlaps(a) {
+		return append(out, b)
+	}
+	rem := b
+	for d := 0; d < boxDims; d++ {
+		if rem[d][0] < a[d][0] {
+			piece := rem
+			piece[d] = interval(rem[d][0], a[d][0]-1)
+			out = append(out, piece)
+			rem[d][0] = a[d][0]
+		}
+		if rem[d][1] > a[d][1] {
+			piece := rem
+			piece[d] = interval(a[d][1]+1, rem[d][1])
+			out = append(out, piece)
+			rem[d][1] = a[d][1]
+		}
+	}
+	// rem is now b's intersection with a: covered, dropped.
+	return out
+}
+
+// lintWorklistCap bounds the box fragments tracked during a union-cover
+// check. Fragment counts grow with rule-set complexity; past the cap
+// the check gives up and conservatively reports "not covered".
+const lintWorklistCap = 2048
+
+// unionCovers reports whether the union of rules before i (1-based)
+// covers rule i's entire match space. With sameActionOnly, only earlier
+// rules sharing rule i's action count. On success it returns the
+// 1-based positions of the earlier rules that consumed part of the
+// space, in order.
+func unionCovers(boxes []matchBox, rules []Rule, i int, sameActionOnly bool) ([]int, bool) {
+	ri := &rules[i-1]
+	work := []matchBox{boxes[i-1]}
+	var covering []int
+	for j := 1; j < i && len(work) > 0; j++ {
+		rj := &rules[j-1]
+		if !sameClass(ri, rj) || (sameActionOnly && rj.Action != ri.Action) {
+			continue
+		}
+		next := make([]matchBox, 0, len(work))
+		consumed := false
+		for _, w := range work {
+			before := len(next)
+			next = w.subtract(boxes[j-1], next)
+			if len(next)-before != 1 || next[before] != w {
+				consumed = true
+			}
+		}
+		if consumed {
+			covering = append(covering, j)
+		}
+		work = next
+		if len(work) > lintWorklistCap {
+			return nil, false
+		}
+	}
+	if len(work) > 0 {
+		return nil, false
+	}
+	return covering, true
+}

@@ -1,0 +1,200 @@
+package fw
+
+import (
+	"strings"
+	"testing"
+
+	"barbican/internal/packet"
+)
+
+func TestLintConflictPartialPortOverlap(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(80, 100)},
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(90, 120)},
+	)
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	f := findings[0]
+	if f.Kind != FindingConflict || f.Rule != 2 || f.By != 1 {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Kind.Severity() != SeverityError {
+		t.Errorf("conflict severity = %v, want error", f.Kind.Severity())
+	}
+}
+
+func TestLintNestedOppositeActionsIsNotAConflict(t *testing.T) {
+	// The classic exception-then-general pattern: a specific allow ahead
+	// of a broad deny is intentional ordering, not a conflict.
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(80)},
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoTCP},
+	)
+	if findings := rs.Lint(LintOptions{}); len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}
+
+func TestLintPrefixCoverAtSlashZero(t *testing.T) {
+	// A zero-bits (match-anything) source covers any /32.
+	rs := MustRuleSet(Deny,
+		Rule{Action: Deny, Direction: In},
+		Rule{Action: Allow, Direction: In, Src: packet.MustPrefix("1.2.3.4/32")},
+	)
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 || findings[0].Kind != FindingShadowed ||
+		findings[0].Rule != 2 || findings[0].By != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestLintPrefixCoverAtSlash32(t *testing.T) {
+	// Equal /32s: the later opposite-action twin is shadowed, not a
+	// partial-overlap conflict.
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Src: packet.MustPrefix("1.2.3.4/32")},
+		Rule{Action: Deny, Direction: In, Src: packet.MustPrefix("1.2.3.4/32")},
+	)
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 || findings[0].Kind != FindingShadowed {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestLintUnionRedundancyAcrossPrefixHalves(t *testing.T) {
+	// Neither half covers the whole address space, but their union does:
+	// the pairwise Analyze misses this, Lint must not.
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Src: packet.MustPrefix("0.0.0.0/1")},
+		Rule{Action: Allow, Direction: In, Src: packet.MustPrefix("128.0.0.0/1")},
+		Rule{Action: Allow, Direction: In},
+	)
+	if pairwise := rs.Analyze(); len(pairwise) != 0 {
+		t.Fatalf("pairwise Analyze = %v, want none (it is blind to unions)", pairwise)
+	}
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	f := findings[0]
+	if f.Kind != FindingRedundant || f.Rule != 3 {
+		t.Errorf("finding = %+v", f)
+	}
+	if len(f.Covering) != 2 || f.Covering[0] != 1 || f.Covering[1] != 2 {
+		t.Errorf("covering = %v, want [1 2]", f.Covering)
+	}
+	if f.Kind.Severity() != SeverityWarning {
+		t.Errorf("redundant severity = %v, want warning", f.Kind.Severity())
+	}
+}
+
+func TestLintUnionRedundancyAcrossPortRanges(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(0, 1000)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(1001, 65535)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(5, 10)},
+	)
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 || findings[0].Kind != FindingRedundant || findings[0].Rule != 3 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestLintUnreachableUnderMixedActions(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.0.0.0/9")},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.128.0.0/9")},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.0.0.0/8")},
+	)
+	findings := rs.Lint(LintOptions{})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	f := findings[0]
+	if f.Kind != FindingUnreachable || f.Rule != 3 {
+		t.Errorf("finding = %+v", f)
+	}
+	if len(f.Covering) != 2 || f.Covering[0] != 1 || f.Covering[1] != 2 {
+		t.Errorf("covering = %v, want [1 2]", f.Covering)
+	}
+	if !strings.Contains(f.String(), "union of rules 1, 2") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestLintDepthWarnings(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(1)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(2)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(3)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(4)},
+	)
+	findings := rs.Lint(LintOptions{DepthWarn: 2})
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v", findings)
+	}
+	for i, f := range findings {
+		if f.Kind != FindingDepth || f.Rule != i+3 || f.Depth != i+3 {
+			t.Errorf("finding = %+v", f)
+		}
+		if f.Kind.Severity() != SeverityInfo {
+			t.Errorf("depth severity = %v, want info", f.Kind.Severity())
+		}
+	}
+}
+
+func TestLintSkipsVPGVersusPlainPairs(t *testing.T) {
+	// VPG rules match sealed envelopes, plain rules cleartext — the
+	// traffic classes are disjoint, so no cross-class findings.
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: Both, VPG: "eng", Src: packet.MustPrefix("10.0.0.0/8")},
+		Rule{Action: Deny, Direction: In, Src: packet.MustPrefix("10.0.0.0/16")},
+	)
+	if findings := rs.Lint(LintOptions{}); len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}
+
+// TestLintGoldenOrdering pins the rendered findings of a policy that
+// triggers every cross-rule kind, in the order Lint emits them.
+func TestLintGoldenOrdering(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(80, 100)},
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoTCP, DstPorts: Ports(90, 120)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(95)},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.0.0.0/9")},
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.128.0.0/9")},
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoUDP, Src: packet.MustPrefix("10.0.0.0/8")},
+	)
+	want := []string{
+		"rule 2 conflicts with rule 1 (partial overlap, opposite actions; rule 1 wins the overlap)",
+		"rule 3 is redundant (covered by rule 1)",
+		"rule 6 is unreachable (covered by the union of rules 4, 5)",
+	}
+	findings := rs.Lint(LintOptions{})
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLintCleanPolicyHasNoFindings(t *testing.T) {
+	rs := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(5001)},
+		Rule{Action: Allow, Direction: Out, Proto: packet.ProtoTCP, SrcPorts: Port(5001)},
+		Rule{Action: Deny, Direction: In, Proto: packet.ProtoUDP},
+	)
+	if findings := rs.Lint(LintOptions{}); len(findings) != 0 {
+		t.Errorf("findings = %v, want none", findings)
+	}
+}

@@ -140,7 +140,10 @@ func (f *Flooder) tick() {
 
 // buildDatagram assembles the next flood packet. When the attacker host
 // resolves neighbors statically the flooder's scratch buffers are
-// reused, making the steady-state build path allocation-free.
+// reused, making the steady-state build path allocation-free
+// (BenchmarkFloodMarshal).
+//
+//barbican:noalloc
 func (f *Flooder) buildDatagram() *packet.Datagram {
 	src := f.host.IP()
 	if n := len(f.cfg.SpoofSources); n > 0 {
@@ -178,7 +181,7 @@ func (f *Flooder) buildDatagram() *packet.Datagram {
 		f.scratchD = *packet.NewDatagram(src, f.target, proto, f.ipID, transport)
 		return &f.scratchD
 	}
-	return packet.NewDatagram(src, f.target, proto, f.ipID, transport)
+	return packet.NewDatagram(src, f.target, proto, f.ipID, transport) //barbican:allow alloc -- non-reuse path: dynamic ARP keeps per-packet buffers alive
 }
 
 func (f *Flooder) inject() {

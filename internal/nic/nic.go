@@ -117,6 +117,10 @@ type pendingIngress struct {
 	verdict fw.Verdict
 }
 
+// finishPending unwraps a recycled pendingIngress and completes the
+// admitted frame. On the per-packet hot path (BenchmarkRxPath).
+//
+//barbican:noalloc
 func (n *NIC) finishPending(x any) {
 	pi := x.(*pendingIngress)
 	f, s, verdict := pi.f, pi.s, pi.verdict
@@ -401,7 +405,10 @@ func (n *NIC) seal(group string, d *packet.Datagram, dstMAC packet.MAC) (*packet
 
 // handleFrame is the ingress path: MAC filtering (free, in hardware),
 // policy evaluation and optional VPG opening on the embedded processor,
-// then delivery to the host.
+// then delivery to the host. On the per-packet hot path
+// (BenchmarkRxPath): the untraced steady state must not allocate.
+//
+//barbican:noalloc
 func (n *NIC) handleFrame(f *packet.Frame) {
 	if f.Dst != n.mac && !f.Dst.IsBroadcast() {
 		return
@@ -442,7 +449,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 	if n.rules != nil && !n.isManagement(s) {
 		verdict = n.rules.Eval(s, fw.In)
 		if tid != 0 {
-			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String())
+			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String()) //barbican:allow alloc -- traced-only branch; tid==0 when no tracer is attached
 		}
 	}
 
@@ -495,12 +502,16 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		n.ingressFree[k-1] = nil
 		n.ingressFree = n.ingressFree[:k-1]
 	} else {
-		pi = &pendingIngress{}
+		pi = &pendingIngress{} //barbican:allow alloc -- cold-path freelist refill; steady state recycles
 	}
 	pi.f, pi.s, pi.verdict = f, s, verdict
 	n.kernel.AtCall(completeAt, n.finishFn, pi)
 }
 
+// finishIngress runs after the processor's admission delay: VPG opening
+// if sealed, then delivery. On the per-packet hot path (BenchmarkRxPath).
+//
+//barbican:noalloc
 func (n *NIC) finishIngress(f *packet.Frame, s packet.Summary, verdict fw.Verdict) {
 	tid := f.TraceID
 	if n.tracer == nil {
