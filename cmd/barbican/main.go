@@ -21,6 +21,14 @@
 //	-trace-out DIR   write sampled packet-lifecycle traces (Perfetto
 //	                 trace_event JSON + annotated text) for every run
 //	-trace-sample N  trace 1 packet in N (default 64)
+//	-faults PLAN     custom management-channel fault plan for the chaos
+//	                 experiments (e.g. "loss=0.2,down=1s-2.5s")
+//	-fault-seed N    fault-injector seed (default: the simulation seed)
+//
+// The chaos experiment family pushes the flood-mitigating policy over a
+// deliberately faulty management channel (seeded loss, corruption, and
+// partition windows) and reports policy-convergence time and available
+// bandwidth; see internal/faults for the plan syntax.
 //
 // The explain subcommand replays one hypothetical packet against a
 // rule set and prints the matched rule, depth walked, and predicted
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"barbican/internal/experiment"
+	"barbican/internal/faults"
 	"barbican/internal/obs"
 )
 
@@ -58,8 +67,10 @@ func run(args []string) error {
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	traceOut := fs.String("trace-out", "", "write packet-lifecycle traces (Perfetto JSON + text) under this directory")
 	traceSample := fs.Int("trace-sample", 0, "trace 1 packet in N (0 = 64 default; needs -trace-out)")
+	faultSpec := fs.String("faults", "", `custom management-channel fault plan for the chaos experiments, e.g. "loss=0.2,down=1s-2.5s" (replaces the default condition sweep)`)
+	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = derive from the simulation seed)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|report|all")
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|report|all")
 		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
 		fs.PrintDefaults()
 	}
@@ -76,6 +87,14 @@ func run(args []string) error {
 		MetricsDir: *metricsOut, SampleEvery: *sampleEvery,
 		TraceDir: *traceOut, TraceSample: *traceSample,
 		Parallel: *parallel, Account: acct,
+		FaultSeed: *faultSeed,
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		cfg.Faults = &plan
 	}
 	workers := *parallel
 	if workers <= 0 {
@@ -98,6 +117,7 @@ func run(args []string) error {
 		{name: "ext3", fn: renderTable("ext3", experiment.ExtensionFragmentEvasion)},
 		{name: "rfc2544", fn: renderTable("rfc2544", experiment.AppendixRFC2544)},
 		{name: "latency", fn: renderTable("latency", experiment.AppendixLatency)},
+		{name: "chaos", fn: renderChaos},
 		{name: "report", fn: experiment.Report},
 	}
 
@@ -159,6 +179,18 @@ func renderTable(name string, fn func(experiment.Config) (*experiment.Table, err
 		}
 		return t.Render(), nil
 	}
+}
+
+func renderChaos(cfg experiment.Config) (string, error) {
+	fig, err := renderFigure("chaos-bandwidth", experiment.ChaosBandwidth)(cfg)
+	if err != nil {
+		return "", err
+	}
+	tab, err := renderTable("chaos-convergence", experiment.ChaosConvergence)(cfg)
+	if err != nil {
+		return "", err
+	}
+	return fig + "\n" + tab, nil
 }
 
 func renderAblations(cfg experiment.Config) (string, error) {

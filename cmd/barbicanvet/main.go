@@ -7,7 +7,7 @@
 //	walltime   - no host-clock reads in deterministic packages
 //	seededrand - no global math/rand functions outside tests
 //	maporder   - no map-iteration order escaping into output
-//	exhaustive - DropReason / FindingKind switches and tables cover every constant
+//	exhaustive - DropReason / FindingKind / nic FailMode + DegradedState switches and tables cover every constant
 //	noalloc    - //barbican:noalloc functions stay free of heap escapes
 //
 // Usage:

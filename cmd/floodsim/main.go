@@ -9,6 +9,12 @@
 //	floodsim -device adf -depth 64 -deny -search
 //	floodsim -device adf -rate 12500 -metrics-out /tmp/m -trace-out /tmp/t
 //	floodsim -device efw -depths 1,16,64 -rates 4000,8000,12500 -parallel 4
+//	floodsim -device adf -rate 8000 -faults loss=0.05,corrupt=0.01,down=1s-1.5s -fault-seed 42
+//
+// With -faults a deterministic fault-injection plan (see
+// internal/faults) is attached to the target's access link: seeded
+// probabilistic frame loss, single-bit corruption, duplication,
+// reordering, and scheduled link-down windows.
 //
 // With -metrics-out the run is recorded by the obs flight recorder and
 // written in the same artifact formats as cmd/barbican: Prometheus
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"barbican/internal/core"
+	"barbican/internal/faults"
 	"barbican/internal/obs"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
@@ -71,6 +78,8 @@ func run(args []string) error {
 	search := fs.Bool("search", false, "binary-search the minimum DoS flood rate")
 	duration := fs.Duration("duration", 2*time.Second, "measurement window")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	faultSpec := fs.String("faults", "", `fault plan for the target's access link, e.g. "loss=0.05,corrupt=0.01,dup=0.02,reorder=0.05,down=1s-2s"`)
+	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = simulation seed)")
 	depthList := fs.String("depths", "", "comma-separated depth sweep (overrides -depth; enables sweep mode)")
 	rateList := fs.String("rates", "", "comma-separated flood-rate sweep (overrides -rate; enables sweep mode)")
 	parallel := fs.Int("parallel", 0, "sweep points measured concurrently (0 = GOMAXPROCS, 1 = serial)")
@@ -94,6 +103,14 @@ func run(args []string) error {
 		FloodFragmented: *fragment,
 		Duration:        *duration,
 		Seed:            *seed,
+		FaultSeed:       *faultSeed,
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		s.Faults = &plan
 	}
 
 	if *depthList != "" || *rateList != "" {

@@ -21,12 +21,15 @@ type EnumSpec struct {
 
 // BarbicanEnums is the repository's enforced taxonomy set: the drop
 // reasons behind the nic_drops_total aggregates and Fig. 3 flood
-// accounting, and the firewall linter's finding kinds. A constant
-// added to either enum without updating every switch and export table
-// fails the lint gate instead of silently vanishing from artifacts.
+// accounting, the firewall linter's finding kinds, and the NIC's
+// degraded-mode fail policy and state machine. A constant added to any
+// of these enums without updating every switch and export table fails
+// the lint gate instead of silently vanishing from artifacts.
 var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/obs/tracing.DropReason", Sentinels: []string{"NumDropReasons"}},
 	{TypePath: "barbican/internal/fw.FindingKind", Sentinels: nil},
+	{TypePath: "barbican/internal/nic.FailMode", Sentinels: []string{"NumFailModes"}},
+	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
 }
 
 // Exhaustive returns the analyzer that enforces full constant coverage

@@ -15,6 +15,8 @@ func TestBarbicanEnumConfig(t *testing.T) {
 	want := map[string]bool{
 		"barbican/internal/obs/tracing.DropReason": true,
 		"barbican/internal/fw.FindingKind":         true,
+		"barbican/internal/nic.FailMode":           true,
+		"barbican/internal/nic.DegradedState":      true,
 	}
 	for _, spec := range BarbicanEnums {
 		delete(want, spec.TypePath)

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"time"
+
+	"barbican/internal/faults"
+	"barbican/internal/fw"
+	"barbican/internal/measure"
+	"barbican/internal/nic"
+	"barbican/internal/policy"
+)
+
+// ChaosPolicy is the flood-mitigating policy the chaos scenarios push
+// while the target is under attack: deny the flood signature, allow the
+// measurement traffic.
+const ChaosPolicy = `deny in proto udp from any to any port 7
+default allow
+`
+
+// ChaosScenario describes a chaos experiment: the target starts
+// unprotected and under flood, and the policy server pushes the
+// mitigating policy over a management channel subjected to a fault
+// plan. The measurement is whether (and how fast) the policy plane
+// converges, and what bandwidth remains available.
+type ChaosScenario struct {
+	// Device is the target's firewall card.
+	Device Device
+	// FloodRatePPS, when positive, floods the target for the whole run.
+	FloodRatePPS float64
+	// MgmtFaults is applied to both directions of the policy server's
+	// access link; the zero plan leaves the channel clean.
+	MgmtFaults faults.Plan
+	// FaultSeed seeds the fault injectors; zero means Seed.
+	FaultSeed int64
+	// Seed seeds the simulation; zero means 1.
+	Seed int64
+	// PushAt is when the push starts (virtual time); zero means 1 s.
+	PushAt time.Duration
+	// Duration is the bandwidth measurement window; zero means 5 s.
+	Duration time.Duration
+	// Push tunes the server's retry engine. The zero value uses the
+	// defaults; MaxAttempts: 1 reproduces the pre-retry single-shot
+	// behavior, which never converges through a partition.
+	Push policy.PushOptions
+}
+
+// ChaosPoint is the outcome of a chaos scenario.
+type ChaosPoint struct {
+	Scenario ChaosScenario
+	// Converged reports whether the agent installed the pushed policy;
+	// ConvergedAt is when (virtual time), ConvergeTime is measured from
+	// PushAt.
+	Converged    bool
+	ConvergedAt  time.Duration
+	ConvergeTime time.Duration
+	// PushError is the push's terminal error ("" on success or while
+	// unsettled).
+	PushError string
+	Server    policy.ServerStats
+	Agent     policy.AgentStats
+	Iperf     measure.IperfResult
+	FloodSent uint64
+	// TargetLocked reports the EFW Deny-All lockup.
+	TargetLocked bool
+	TargetNIC    nic.Stats
+	SimSeconds   float64
+	WallBusy     time.Duration
+}
+
+// Mbps returns the measured available bandwidth.
+func (p ChaosPoint) Mbps() float64 { return p.Iperf.Mbps }
+
+// RunChaos executes a chaos scenario: flood from t=0, policy push at
+// PushAt over the faulty management channel, available bandwidth
+// measured across the window, then the kernel runs on until the push
+// settles (success or exhausted retry budget).
+func RunChaos(s ChaosScenario) (ChaosPoint, error) {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = s.Seed
+	}
+	if s.PushAt == 0 {
+		s.PushAt = time.Second
+	}
+	if s.Duration == 0 {
+		s.Duration = 5 * time.Second
+	}
+
+	tb, err := NewTestbed(TestbedOptions{TargetDevice: s.Device, Seed: s.Seed})
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	psk := policy.DeriveKey("chaos")
+	srv := policy.NewServer(tb.PolicyServer, psk)
+	agent, err := policy.NewAgent(tb.Target, tb.PolicyServer.IP(), psk)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	faults.Attach(tb.PolicyServer.NIC().Endpoint(), s.MgmtFaults, s.FaultSeed)
+
+	p := ChaosPoint{Scenario: s}
+	agent.OnInstall = func(version uint32, rs *fw.RuleSet) {
+		if !p.Converged {
+			p.Converged = true
+			p.ConvergedAt = tb.Kernel.Now()
+			p.ConvergeTime = p.ConvergedAt - s.PushAt
+		}
+	}
+
+	var flood *measure.Flooder
+	if s.FloodRatePPS > 0 {
+		flood = measure.NewFlooder(tb.Attacker, tb.Target.IP(), measure.FloodConfig{
+			RatePPS: s.FloodRatePPS,
+			DstPort: FloodPort,
+		})
+		flood.Start()
+	}
+
+	settled := false
+	var pushErr error
+	tb.Kernel.After(s.PushAt, func() {
+		if _, err := srv.SetPolicy("target", ChaosPolicy); err != nil {
+			settled, pushErr = true, err
+			return
+		}
+		err := srv.PushWith("target", tb.Target.IP(), s.Push, func(err error) {
+			settled, pushErr = true, err
+		})
+		if err != nil {
+			settled, pushErr = true, err
+		}
+	})
+
+	res, err := measure.RunTCPIperf(tb.Kernel, tb.Client, tb.Target, measure.IperfConfig{Duration: s.Duration})
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	p.Iperf = res
+	if flood != nil {
+		flood.Stop()
+		p.FloodSent = flood.Sent()
+	}
+	// Let the retry engine settle so the point reports the push's true
+	// terminal outcome even when the window ends mid-backoff.
+	if !settled {
+		if err := tb.Kernel.RunFor(15 * time.Second); err != nil {
+			return ChaosPoint{}, err
+		}
+	}
+	if pushErr != nil {
+		p.PushError = pushErr.Error()
+	}
+	p.Server = srv.Stats()
+	p.Agent = agent.Stats()
+	p.TargetLocked = tb.Target.NIC().Locked()
+	p.TargetNIC = tb.Target.NIC().Stats()
+	p.SimSeconds = tb.Kernel.Now().Seconds()
+	p.WallBusy = tb.Kernel.WallBusy()
+	return p, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"barbican/internal/faults"
 	"barbican/internal/fw"
 	"barbican/internal/measure"
 	"barbican/internal/nic"
@@ -48,6 +49,11 @@ type Scenario struct {
 	Duration time.Duration
 	// Seed seeds the simulation; zero means 1.
 	Seed int64
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// plan to both directions of the target's access link.
+	Faults *faults.Plan
+	// FaultSeed seeds the fault injectors; zero means Seed.
+	FaultSeed int64
 
 	// SuppressFloodResponses disables victim RST/ICMP responses
 	// (ablation ABL1).
@@ -103,6 +109,16 @@ func buildTestbed(s Scenario) (*Testbed, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.Faults != nil {
+		seed := s.FaultSeed
+		if seed == 0 {
+			seed = s.Seed
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		faults.Attach(tb.Target.NIC().Endpoint(), *s.Faults, seed)
 	}
 	if s.Depth <= 0 {
 		return tb, nil

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"barbican/internal/faults"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
@@ -159,6 +160,13 @@ type Config struct {
 	// Account, when non-nil, accumulates point counts and sim/wall time
 	// across every simulation the experiment runs.
 	Account *Accounting
+	// Faults, when non-nil, replaces the chaos experiments' default
+	// management-channel condition sweep with this single plan (the
+	// barbican -faults flag).
+	Faults *faults.Plan
+	// FaultSeed seeds the fault injectors; zero derives from each
+	// scenario's simulation seed.
+	FaultSeed int64
 }
 
 // pool returns the executor pool the configuration selects.

@@ -52,6 +52,51 @@ type Stats struct {
 	SentFrames    uint64
 	SentBytes     uint64 // wire bytes, including preamble/IFG
 	DroppedFrames uint64 // transmit queue overflow
+
+	// Fault-injection effects applied to accepted frames (all zero
+	// unless a FaultInjector is attached).
+	FaultLost       uint64 // frames consumed by the wire (loss or down window)
+	FaultCorrupted  uint64 // frames delivered with flipped bits
+	FaultDuplicated uint64 // frames delivered more than once
+	FaultReordered  uint64 // frames delivered with extra delay
+}
+
+// FaultDelivery is one (possibly modified, possibly extra) arrival of
+// a frame at the far end of the link.
+type FaultDelivery struct {
+	Frame *packet.Frame
+	// ExtraDelay is added on top of the frame's normal
+	// serialization + propagation arrival time.
+	ExtraDelay time.Duration
+}
+
+// FaultOutcome is a FaultInjector's decision for one accepted frame.
+// The zero value means "deliver normally" and costs nothing, so a
+// mostly-quiet injector stays off the allocation path.
+type FaultOutcome struct {
+	// Lost consumes the frame: it occupies the wire (the sender saw a
+	// successful Send) but never arrives. Reason annotates sampled
+	// traces; DropNone defaults to DropFaultLoss.
+	Lost   bool
+	Reason tracing.DropReason
+
+	// Deliveries, when non-empty, replaces the single on-time
+	// delivery: one entry per arrival (corruption substitutes a
+	// mangled clone, duplication adds entries, reordering adds
+	// ExtraDelay). Ignored when Lost is set.
+	Deliveries []FaultDelivery
+
+	// Effect flags drive the per-endpoint Stats counters.
+	Corrupted  bool
+	Duplicated bool
+	Reordered  bool
+}
+
+// FaultInjector decides the fate of each frame accepted onto a link
+// direction. Implementations must be deterministic in virtual time
+// (seeded rand only) — see internal/faults.
+type FaultInjector interface {
+	Apply(f *packet.Frame, now time.Duration) FaultOutcome
 }
 
 // Endpoint is one end of a full-duplex link. Devices send frames with
@@ -71,11 +116,14 @@ type direction struct {
 	stats     Stats
 	dst       *Endpoint
 	tracer    *tracing.Tracer
+	faults    FaultInjector
 
 	// deliverFn is the precomputed arrival callback, scheduled through
 	// the kernel's pooled-event path so each frame in flight costs no
-	// allocation beyond the frame itself.
+	// allocation beyond the frame itself. releaseFn frees the transmit
+	// slot of a frame the injector consumed (no arrival to do it).
 	deliverFn func(any)
+	releaseFn func(any)
 }
 
 // New creates a full-duplex link on the kernel's clock and returns its
@@ -88,6 +136,8 @@ func New(k *sim.Kernel, cfg Config) (*Endpoint, *Endpoint) {
 	a.dir.dst, b.dir.dst = b, a
 	a.dir.deliverFn = a.dir.deliver
 	b.dir.deliverFn = b.dir.deliver
+	a.dir.releaseFn = a.dir.release
+	b.dir.releaseFn = b.dir.release
 	return a, b
 }
 
@@ -105,9 +155,21 @@ func (d *direction) deliver(x any) {
 	}
 }
 
+// release frees one transmit-queue slot for a frame that will never
+// be delivered (consumed by fault injection at serialization end).
+func (d *direction) release(any) { d.queued-- }
+
 // Attach registers the frame handler invoked when a frame arrives at this
 // endpoint.
 func (e *Endpoint) Attach(recv func(*packet.Frame)) { e.recv = recv }
+
+// Peer returns the other end of the link.
+func (e *Endpoint) Peer() *Endpoint { return e.peer }
+
+// SetFaults attaches (or with nil detaches) a fault injector to this
+// endpoint's transmit direction. Disabled cost is one nil check on
+// the send path.
+func (e *Endpoint) SetFaults(fi FaultInjector) { e.dir.faults = fi }
 
 // SetTap registers a passive observer: it sees every frame this endpoint
 // transmits (tx true, at acceptance) and receives (tx false, at
@@ -155,8 +217,52 @@ func (e *Endpoint) Send(f *packet.Frame) bool {
 		// (busyUntil), serialization, and propagation.
 		d.tracer.Span(f.TraceID, tracing.StageLink, now, done+d.cfg.Propagation)
 	}
+	if d.faults != nil {
+		d.sendWithFaults(f, now, done)
+		return true
+	}
 	d.kernel.AfterCall(done+d.cfg.Propagation-now, d.deliverFn, f)
 	return true
+}
+
+// sendWithFaults applies the injector's verdict to an already-accepted
+// frame. The sender has seen a successful Send either way — faults act
+// on the wire, not on admission.
+func (d *direction) sendWithFaults(f *packet.Frame, now, done time.Duration) {
+	out := d.faults.Apply(f, now)
+	if out.Lost {
+		d.stats.FaultLost++
+		reason := out.Reason
+		if reason == tracing.DropNone {
+			reason = tracing.DropFaultLoss
+		}
+		if d.tracer != nil && f.TraceID != 0 {
+			d.tracer.Drop(f.TraceID, tracing.StageLink, reason)
+		}
+		// The wire is still occupied until serialization completes;
+		// only then does the transmit slot free up.
+		d.kernel.AfterCall(done-now, d.releaseFn, nil)
+		return
+	}
+	if out.Corrupted {
+		d.stats.FaultCorrupted++
+	}
+	if out.Duplicated {
+		d.stats.FaultDuplicated++
+	}
+	if out.Reordered {
+		d.stats.FaultReordered++
+	}
+	if len(out.Deliveries) == 0 {
+		d.kernel.AfterCall(done+d.cfg.Propagation-now, d.deliverFn, f)
+		return
+	}
+	// Each scheduled delivery decrements queued on arrival; balance
+	// the extra arrivals duplication created.
+	d.queued += len(out.Deliveries) - 1
+	for _, dv := range out.Deliveries {
+		d.kernel.AfterCall(done+d.cfg.Propagation+dv.ExtraDelay-now, d.deliverFn, dv.Frame)
+	}
 }
 
 // Busy reports how much longer the transmit direction is occupied.

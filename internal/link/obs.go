@@ -15,6 +15,14 @@ func (e *Endpoint) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		obs.KindGauge, func() float64 { return float64(e.dir.queued) }, labels...)
 	reg.MustRegisterFunc("link_tx_busy_seconds", "Remaining serialization backlog, in time.",
 		obs.KindGauge, func() float64 { return e.Busy().Seconds() }, labels...)
+	reg.MustRegisterFunc("link_fault_lost_total", "Frames consumed by fault injection (loss or down window).",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.FaultLost) }, labels...)
+	reg.MustRegisterFunc("link_fault_corrupted_total", "Frames delivered with injected bit corruption.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.FaultCorrupted) }, labels...)
+	reg.MustRegisterFunc("link_fault_duplicated_total", "Frames delivered more than once by fault injection.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.FaultDuplicated) }, labels...)
+	reg.MustRegisterFunc("link_fault_reordered_total", "Frames delayed for reordering by fault injection.",
+		obs.KindCounter, func() float64 { return float64(e.dir.stats.FaultReordered) }, labels...)
 }
 
 // PublishMetrics registers the switch's forwarding counters with the

@@ -35,6 +35,14 @@ type Stats struct {
 	Sealed  uint64
 	Opened  uint64
 	Lockups uint64
+
+	// Degraded-mode machine activity (all zero while FailModeNone).
+	DegradedEntries uint64 // transitions into StateDegraded
+	WatchdogResets  uint64 // automatic recoveries to the committed rule set
+	UpdatesAborted  uint64 // policy updates declared interrupted
+	RxDegradedDrops uint64 // ingress frames dropped fail-closed
+	TxDegradedDrops uint64 // egress frames dropped fail-closed
+	DegradedPass    uint64 // frames passed unfiltered fail-open
 }
 
 type replayKey struct {
@@ -61,6 +69,15 @@ type NIC struct {
 	winStart    time.Duration
 	deniedInWin int
 	ipID        uint16
+
+	// Degraded-mode state machine (see degraded.go). failMode's zero
+	// value FailModeNone keeps the machine fully disarmed.
+	failMode        FailMode
+	degState        DegradedState
+	lastCommitted   *fw.RuleSet
+	overloadDegrade bool
+	updateEv        *sim.Event
+	recoverEv       *sim.Event
 
 	// Precomputed hot-path callbacks and the pending-ingress freelist:
 	// together with the kernel's pooled events they make the steady-state
@@ -182,8 +199,12 @@ func (n *NIC) SetDeliver(fn func(*packet.Frame)) { n.deliver = fn }
 
 // InstallRuleSet installs (or, with nil, removes) the enforced policy.
 // In the real systems this is done by the firewall agent on behalf of the
-// central policy server.
-func (n *NIC) InstallRuleSet(rs *fw.RuleSet) { n.rules = rs }
+// central policy server. A direct install is a committed policy: it is
+// what a degraded card's watchdog reset restores.
+func (n *NIC) InstallRuleSet(rs *fw.RuleSet) {
+	n.rules = rs
+	n.lastCommitted = rs
+}
 
 // RuleSet returns the enforced policy (nil when unfiltered).
 func (n *NIC) RuleSet() *fw.RuleSet { return n.rules }
@@ -243,6 +264,20 @@ func (n *NIC) RestartAgent() {
 	n.deniedInWin = 0
 	n.winStart = n.kernel.Now()
 	n.proc.Reset()
+	// A restart also clears the degraded machine back to healthy with
+	// the committed policy enforced.
+	if n.updateEv != nil {
+		n.updateEv.Cancel()
+		n.updateEv = nil
+	}
+	if n.recoverEv != nil {
+		n.recoverEv.Cancel()
+		n.recoverEv = nil
+	}
+	if n.degState != StateHealthy {
+		n.rules = n.lastCommitted
+		n.degState = StateHealthy
+	}
 }
 
 // Send transmits an IP datagram to the given destination MAC, subject to
@@ -273,6 +308,12 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		tid = tr.Begin(s.String())
 	}
 
+	if n.degState == StateDegraded {
+		if handled, sent := n.degradedEgress(d, dstMAC, s, tid); handled {
+			return sent
+		}
+	}
+
 	verdict := fw.Verdict{Action: fw.Allow}
 	if n.rules != nil && !n.isManagement(s) {
 		verdict = n.rules.Eval(s, fw.Out)
@@ -293,6 +334,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		n.stats.TxOverloadDrops++
 		reason := n.overloadReason()
 		n.txDrops[reason]++
+		n.noteOverload(reason)
 		if tid != 0 {
 			tr.Drop(tid, tracing.StageNICTx, reason)
 		}
@@ -365,11 +407,36 @@ func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 		}
 		return false
 	}
+	if n.degState == StateDegraded {
+		switch n.failMode {
+		case FailModeOpen:
+			// Hardware bypass: the frame skips the (degraded) filter
+			// processor entirely.
+			n.stats.DegradedPass++
+			n.stats.TxAllowed++
+			if tid != 0 {
+				f.TraceID = tid
+				tr.Point(tid, tracing.StageNICTx, "degraded fail-open pass")
+			}
+			n.ep.Send(f)
+			return true
+		case FailModeClosed:
+			n.stats.TxDegradedDrops++
+			n.txDrops[tracing.DropDegraded]++
+			if tid != 0 {
+				tr.Drop(tid, tracing.StageNICTx, tracing.DropDegraded)
+			}
+			return false
+		case FailModeNone, NumFailModes:
+			// Unreachable: StateDegraded requires an armed machine.
+		}
+	}
 	completeAt, ok := n.proc.Admit(n.profile.cost(0, 0))
 	if !ok {
 		n.stats.TxOverloadDrops++
 		reason := n.overloadReason()
 		n.txDrops[reason]++
+		n.noteOverload(reason)
 		if tid != 0 {
 			tr.Drop(tid, tracing.StageNICTx, reason)
 		}
@@ -445,6 +512,10 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		return
 	}
 
+	if n.degState == StateDegraded && n.degradedIngress(f, s, tid) {
+		return
+	}
+
 	verdict := fw.Verdict{Action: fw.Allow}
 	if n.rules != nil && !n.isManagement(s) {
 		verdict = n.rules.Eval(s, fw.In)
@@ -479,6 +550,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		n.stats.RxOverloadDrops++
 		reason := n.overloadReason()
 		n.rxDrops[reason]++
+		n.noteOverload(reason)
 		if tid != 0 {
 			tr.Drop(tid, tracing.StageNICRx, reason)
 		}

@@ -69,6 +69,19 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 	counter("nic_lockups_total", "Times the card wedged (EFW Deny-All failure).",
 		func() float64 { return float64(n.stats.Lockups) })
 
+	counter("nic_degraded_entries_total", "Transitions into the degraded policy-plane state.",
+		func() float64 { return float64(n.stats.DegradedEntries) })
+	counter("nic_watchdog_resets_total", "Automatic watchdog recoveries to the last committed rule set.",
+		func() float64 { return float64(n.stats.WatchdogResets) })
+	counter("nic_updates_aborted_total", "Policy updates declared interrupted.",
+		func() float64 { return float64(n.stats.UpdatesAborted) })
+	counter("nic_degraded_drops_total", "Frames dropped fail-closed while degraded (both directions).",
+		func() float64 { return float64(n.stats.RxDegradedDrops + n.stats.TxDegradedDrops) })
+	counter("nic_degraded_pass_total", "Frames passed unfiltered fail-open while degraded.",
+		func() float64 { return float64(n.stats.DegradedPass) })
+	gauge("nic_degraded_state", "Policy-plane state (0 healthy, 1 updating, 2 degraded, 3 wedged).",
+		func() float64 { return float64(n.DegradedState()) })
+
 	gauge("nic_locked", "Whether the card is currently wedged (0/1).",
 		func() float64 {
 			if n.locked {

@@ -77,6 +77,9 @@ const (
 	DropNoGroup                  // sealed frame without a matching VPG
 	DropOversize                 // frame exceeds link MTU
 	DropLinkQueue                // link transmit queue overflow
+	DropFaultLoss                // fault injection: probabilistic frame loss
+	DropLinkDown                 // fault injection: link down / partition window
+	DropDegraded                 // NIC in fail-closed degraded mode
 
 	NumDropReasons // array-sizing sentinel, not a reason
 )
@@ -93,6 +96,9 @@ var dropNames = [...]string{
 	DropNoGroup:       "no-group",
 	DropOversize:      "oversize",
 	DropLinkQueue:     "link-queue",
+	DropFaultLoss:     "fault-loss",
+	DropLinkDown:      "link-down",
+	DropDegraded:      "degraded",
 }
 
 func (r DropReason) String() string {

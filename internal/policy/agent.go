@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"time"
 
 	"barbican/internal/fw"
 	"barbican/internal/nic"
@@ -12,12 +13,21 @@ import (
 
 // AgentStats counts agent activity.
 type AgentStats struct {
-	Installs   uint64
-	AuthFails  uint64
-	ParseFails uint64
-	StaleDrops uint64 // pushes older than the installed version
-	Restarts   uint64
+	Installs       uint64
+	AuthFails      uint64
+	ParseFails     uint64
+	StaleDrops     uint64 // pushes strictly older than the installed version
+	IdempotentAcks uint64 // re-pushes of the installed version, acked without reinstall
+	TimeoutAborts  uint64 // connections reaped by the per-push read deadline
+	AbortedPushes  uint64 // connections torn down mid-push by the peer
+	Restarts       uint64
 }
+
+// AgentReadTimeout bounds how long one push connection may stay open
+// without completing: a truncated message (its tail lost to a fault or
+// partition) must not wedge the listener slot or hold the card's
+// update watchdog hostage forever.
+const AgentReadTimeout = 3 * time.Second
 
 // Agent is the firewall agent running on a protected host: it receives
 // signed policy pushes from the central server and installs them on the
@@ -33,6 +43,8 @@ type Agent struct {
 	installedGroups  []*vpg.Group
 	listener         *stack.Listener
 	stats            AgentStats
+	lastGoodAt       time.Duration // virtual time of the last successful install
+	everInstalled    bool
 
 	// OnInstall, when set, observes successful installs.
 	OnInstall func(version uint32, rs *fw.RuleSet)
@@ -55,6 +67,20 @@ func NewAgent(h *stack.Host, server packet.IP, psk []byte) (*Agent, error) {
 // InstalledVersion returns the version of the currently enforced policy
 // (0 before the first push).
 func (a *Agent) InstalledVersion() uint32 { return a.installedVersion }
+
+// LastGood reports the last successfully installed policy version and
+// when it landed (virtual time). ok is false before the first install.
+func (a *Agent) LastGood() (version uint32, at time.Duration, ok bool) {
+	return a.installedVersion, a.lastGoodAt, a.everInstalled
+}
+
+// Staleness reports how long the enforced policy has gone without a
+// successful (re-)install — the operator-facing "how far behind might
+// this card be" signal. Before the first install it is the agent's
+// whole lifetime.
+func (a *Agent) Staleness() time.Duration {
+	return a.host.Kernel().Now() - a.lastGoodAt
+}
 
 // Installed returns the enforced rule set (nil before the first push).
 func (a *Agent) Installed() *fw.RuleSet { return a.installed }
@@ -89,42 +115,129 @@ func (a *Agent) Restart() {
 // Close stops accepting pushes.
 func (a *Agent) Close() { a.listener.Close() }
 
+// serve handles one push connection. Faults on the management channel
+// mean the bytes may be truncated, bit-flipped, or never complete; the
+// handler must reject without panicking and, crucially, without
+// wedging: every exit path settles the card's update watchdog and the
+// read deadline frees the connection when the tail never arrives.
 func (a *Agent) serve(c *stack.Conn) {
 	var buf []byte
+	began := false    // card told an update is in flight
+	complete := false // a push was answered (OK or ERR)
+
+	deadline := a.host.Kernel().After(AgentReadTimeout, func() {
+		if complete {
+			return
+		}
+		complete = true
+		a.stats.TimeoutAborts++
+		if began {
+			// The push died mid-flight: this is a real interruption,
+			// the degraded machine's fail-mode applies.
+			a.card.AbortPolicyUpdate()
+		}
+		c.Abort()
+	})
+	// reject answers a malformed push and settles the update state
+	// cleanly (a fully received, cleanly rejected message is not an
+	// interruption).
+	reject := func(msg string) {
+		complete = true
+		deadline.Cancel()
+		if began {
+			a.card.CancelPolicyUpdate()
+		}
+		if werr := c.Write(encodeErr(msg)); werr == nil {
+			c.Close()
+		} else {
+			c.Abort()
+		}
+	}
+	torndown := func() {
+		if complete {
+			return
+		}
+		complete = true
+		deadline.Cancel()
+		a.stats.AbortedPushes++
+		if began {
+			a.card.AbortPolicyUpdate()
+		}
+	}
+	c.OnReset = torndown
+	c.OnPeerClose = torndown
+
 	c.OnData = func(p []byte) {
+		if complete {
+			return
+		}
 		buf = append(buf, p...)
+		if !began && len(buf) > 0 {
+			began = true
+			a.card.BeginPolicyUpdate()
+		}
 		msg, n, err := decodePush(a.psk, buf)
 		if err != nil {
 			if err == ErrBadMAC {
 				a.stats.AuthFails++
+			} else {
+				a.stats.ParseFails++
 			}
-			if werr := c.Write(encodeErr(err.Error())); werr == nil {
-				c.Close()
-			}
+			reject(err.Error())
 			return
 		}
 		if msg == nil {
-			return // need more bytes
+			// Need more bytes — but a corrupted length field must not
+			// buffer unboundedly while we wait for a tail that will
+			// never come.
+			if len(buf) > headerLen+maxPayloadSize+macLen {
+				a.stats.ParseFails++
+				reject(ErrTooLarge.Error())
+			}
+			return
 		}
 		buf = buf[n:]
+		complete = true
+		deadline.Cancel()
 		a.handlePush(c, msg)
 	}
 }
 
+// handlePush processes one fully received, authenticated push. The
+// card's update watchdog is armed (serve called BeginPolicyUpdate);
+// every path here settles it — commit on install, cancel on a clean
+// rejection or idempotent ack.
 func (a *Agent) handlePush(c *stack.Conn, msg *pushMessage) {
-	if msg.Version <= a.installedVersion {
-		a.stats.StaleDrops++
-		if err := c.Write(encodeErr(fmt.Sprintf("stale version %d (installed %d)", msg.Version, a.installedVersion))); err == nil {
+	rejectWith := func(detail string) {
+		a.card.CancelPolicyUpdate()
+		if werr := c.Write(encodeErr(detail)); werr == nil {
 			c.Close()
+		} else {
+			c.Abort()
 		}
+	}
+	if a.everInstalled && msg.Version == a.installedVersion {
+		// Idempotent re-push: a retry whose previous OK was lost on the
+		// management channel. Confirm without reinstalling.
+		a.stats.IdempotentAcks++
+		a.lastGoodAt = a.host.Kernel().Now()
+		a.card.CancelPolicyUpdate()
+		if err := c.Write(encodeOK(msg.Version)); err == nil {
+			c.Close()
+		} else {
+			c.Abort()
+		}
+		return
+	}
+	if msg.Version < a.installedVersion {
+		a.stats.StaleDrops++
+		rejectWith(fmt.Sprintf("stale version %d (installed %d)", msg.Version, a.installedVersion))
 		return
 	}
 	rs, err := Parse(msg.Text)
 	if err != nil {
 		a.stats.ParseFails++
-		if werr := c.Write(encodeErr(err.Error())); werr == nil {
-			c.Close()
-		}
+		rejectWith(err.Error())
 		return
 	}
 	// Provision the pushed VPGs before enforcing rules that require them.
@@ -136,9 +249,7 @@ func (a *Agent) handlePush(c *stack.Conn, msg *pushMessage) {
 		}
 		if err != nil {
 			a.stats.ParseFails++
-			if werr := c.Write(encodeErr(fmt.Sprintf("group %q: %v", def.Name, err))); werr == nil {
-				c.Close()
-			}
+			rejectWith(fmt.Sprintf("group %q: %v", def.Name, err))
 			return
 		}
 		groups = append(groups, g)
@@ -146,7 +257,9 @@ func (a *Agent) handlePush(c *stack.Conn, msg *pushMessage) {
 	a.installedGroups = groups
 	a.installed = rs
 	a.installedVersion = msg.Version
-	a.card.InstallRuleSet(rs)
+	a.everInstalled = true
+	a.lastGoodAt = a.host.Kernel().Now()
+	a.card.CommitPolicyUpdate(rs)
 	a.stats.Installs++
 	if a.OnInstall != nil {
 		a.OnInstall(msg.Version, rs)

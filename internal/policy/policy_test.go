@@ -77,7 +77,9 @@ func TestPushRejectsWrongKey(t *testing.T) {
 	if err := evil.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.Kernel.RunUntil(2 * time.Second); err != nil {
+	// Auth failures look like wire corruption to the server, so it
+	// retries them — the push settles only after the retry budget.
+	if err := tb.Kernel.RunUntil(15 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if result == nil || !strings.Contains(result.Error(), "authentication") {
@@ -86,8 +88,8 @@ func TestPushRejectsWrongKey(t *testing.T) {
 	if agent.InstalledVersion() != 0 {
 		t.Error("forged policy was installed")
 	}
-	if agent.Stats().AuthFails != 1 {
-		t.Errorf("AuthFails = %d, want 1", agent.Stats().AuthFails)
+	if got := agent.Stats().AuthFails; got != 5 {
+		t.Errorf("AuthFails = %d, want 5 (one per retry attempt)", got)
 	}
 	if tb.Target.NIC().RuleSet() != nil {
 		t.Error("card accepted forged rules")
@@ -96,8 +98,11 @@ func TestPushRejectsWrongKey(t *testing.T) {
 
 func TestPushRejectsStaleVersion(t *testing.T) {
 	tb, srv, agent := setup(t)
-	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
-		t.Fatal(err)
+	// Install version 2 so a replayed v1 is strictly older.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := srv.Push("target", tb.Target.IP(), nil); err != nil {
 		t.Fatal(err)
@@ -105,8 +110,12 @@ func TestPushRejectsStaleVersion(t *testing.T) {
 	if err := tb.Kernel.RunUntil(time.Second); err != nil {
 		t.Fatal(err)
 	}
+	if agent.InstalledVersion() != 2 {
+		t.Fatalf("installed = %d, want 2", agent.InstalledVersion())
+	}
 
-	// A second server instance replays version 1; the agent refuses.
+	// A second server instance replays version 1; the agent refuses,
+	// and a stale rejection is terminal — no retries.
 	replay := policy.NewServer(tb.PolicyServer, policy.DeriveKey("test"))
 	if _, err := replay.SetPolicy("target", webPolicy); err != nil {
 		t.Fatal(err)
@@ -123,6 +132,43 @@ func TestPushRejectsStaleVersion(t *testing.T) {
 	}
 	if agent.Stats().StaleDrops != 1 {
 		t.Errorf("StaleDrops = %d", agent.Stats().StaleDrops)
+	}
+}
+
+func TestRePushOfInstalledVersionIsIdempotent(t *testing.T) {
+	tb, srv, agent := setup(t)
+	if _, err := srv.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Push("target", tb.Target.IP(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second server with the same stored version re-pushes v1 — the
+	// lost-OK retry case. The agent acks without reinstalling.
+	again := policy.NewServer(tb.PolicyServer, policy.DeriveKey("test"))
+	if _, err := again.SetPolicy("target", webPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var result error = errors.New("never finished")
+	if err := again.Push("target", tb.Target.IP(), func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kernel.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if result != nil {
+		t.Errorf("idempotent re-push outcome: %v, want success", result)
+	}
+	st := agent.Stats()
+	if st.Installs != 1 || st.IdempotentAcks != 1 || st.StaleDrops != 0 {
+		t.Errorf("stats = %+v, want 1 install + 1 idempotent ack", st)
+	}
+	if v, _, ok := agent.LastGood(); !ok || v != 1 {
+		t.Errorf("LastGood = %d, %v", v, ok)
 	}
 }
 
@@ -167,9 +213,19 @@ func TestPushToDeadAgentTimesOut(t *testing.T) {
 	if result == nil {
 		t.Error("push to dead agent reported success")
 	}
+	// Every attempt is audited (4 retry lines + the terminal failure).
 	audit := srv.Audit()
-	if len(audit) != 1 || audit[0].OK {
-		t.Errorf("audit = %v", audit)
+	if len(audit) != 5 {
+		t.Fatalf("audit has %d events, want 5 (one per attempt)", len(audit))
+	}
+	for _, e := range audit {
+		if e.OK {
+			t.Errorf("audit reported success: %v", e)
+		}
+	}
+	st := srv.Stats()
+	if st.Attempts != 5 || st.Retries != 4 || st.Failures != 1 || st.Successes != 0 {
+		t.Errorf("server stats = %+v", st)
 	}
 }
 

@@ -3,6 +3,8 @@ package policy
 import (
 	"crypto/sha256"
 	"fmt"
+	"math/rand"
+	"strings"
 	"time"
 
 	"barbican/internal/packet"
@@ -42,6 +44,15 @@ type assignment struct {
 	groups  []groupDef
 }
 
+// ServerStats counts policy-distribution activity.
+type ServerStats struct {
+	Pushes    uint64 // Push calls accepted (policy existed and encoded)
+	Attempts  uint64 // connection attempts, including retries
+	Retries   uint64 // attempts after the first
+	Successes uint64 // pushes settled with an agent OK
+	Failures  uint64 // pushes settled terminally without one
+}
+
 // Server is the central policy server: it owns named device policies and
 // pushes signed rule-sets to firewall agents.
 type Server struct {
@@ -50,6 +61,7 @@ type Server struct {
 
 	assignments map[string]*assignment
 	audit       []AuditEvent
+	stats       ServerStats
 }
 
 // NewServer creates a policy server on the given host.
@@ -119,10 +131,85 @@ func (s *Server) Audit() []AuditEvent {
 	return append([]AuditEvent(nil), s.audit...)
 }
 
-// Push distributes the device's current policy to the agent at target.
-// done (optional) is invoked with the outcome once the agent replies, the
-// connection fails, or the timeout (5 s of virtual time) expires.
+// Stats returns a snapshot of the distribution counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// PushOptions tunes the retry engine behind Push. The zero value means
+// defaults; see the field comments.
+type PushOptions struct {
+	// AttemptTimeout bounds each connection attempt (dial → agent
+	// reply). Zero means 1 s.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps total attempts before the push settles
+	// terminally. Zero means 5; 1 disables retries (legacy behavior).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failed attempt; each
+	// further failure doubles it up to MaxBackoff. Zero means 100 ms
+	// (base) and 2 s (cap).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each backoff uniformly by ±frac. Zero means
+	// 0.2; negative disables jitter.
+	JitterFrac float64
+	// Rng drives the jitter. Nil means the host kernel's seeded
+	// generator, which keeps runs deterministic; jitter never touches
+	// the global math/rand source.
+	Rng *rand.Rand
+}
+
+func (o PushOptions) withDefaults(rng *rand.Rand) PushOptions {
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	switch {
+	case o.JitterFrac < 0:
+		o.JitterFrac = 0
+	case o.JitterFrac == 0:
+		o.JitterFrac = 0.2
+	}
+	if o.Rng == nil {
+		o.Rng = rng
+	}
+	return o
+}
+
+// retryableAgentErr classifies an agent ERR reply: corruption-shaped
+// rejections (a lossy or bit-flipping management channel mangled the
+// wire image) are worth re-sending; semantic rejections (stale
+// version, unparseable policy) are not.
+func retryableAgentErr(msg string) bool {
+	return strings.Contains(msg, "authentication") ||
+		strings.Contains(msg, "magic") ||
+		strings.Contains(msg, "truncated") ||
+		strings.Contains(msg, "too large") ||
+		strings.Contains(msg, "malformed") // a corrupted response line, not a corrupted push
+
+}
+
+// Push distributes the device's current policy to the agent at target
+// with default retry options. A non-nil return means the push never
+// started (no stored policy, encode failure) and done will NOT be
+// invoked; once Push returns nil, done (if non-nil) is invoked exactly
+// once with the terminal outcome — after the agent's OK, or after the
+// retry budget is exhausted.
 func (s *Server) Push(device string, target packet.IP, done func(error)) error {
+	return s.PushWith(device, target, PushOptions{}, done)
+}
+
+// PushWith is Push with explicit retry options: per-attempt timeouts,
+// capped exponential backoff with seeded jitter, and idempotent
+// versioned re-push (the agent acks a version it already runs, so a
+// retry whose previous OK was lost still converges).
+func (s *Server) PushWith(device string, target packet.IP, opt PushOptions, done func(error)) error {
 	a := s.assignments[device]
 	if a == nil {
 		return fmt.Errorf("policy: no policy stored for device %q", device)
@@ -132,71 +219,168 @@ func (s *Server) Push(device string, target packet.IP, done func(error)) error {
 	if err != nil {
 		return err
 	}
+	s.stats.Pushes++
+	r := &pushRun{
+		s:       s,
+		device:  device,
+		target:  target,
+		version: a.version,
+		wire:    wire,
+		opt:     opt.withDefaults(s.host.Kernel().Rand()),
+		done:    done,
+	}
+	r.attempt(1)
+	return nil
+}
 
-	conn, err := s.host.DialTCP(target, AgentPort)
+// pushRun is one Push's lifetime across its attempts. settle is the
+// single terminal path: it fires done exactly once no matter how many
+// attempt callbacks (timeout, reset, late data) race in after it.
+type pushRun struct {
+	s       *Server
+	device  string
+	target  packet.IP
+	version uint32
+	wire    []byte
+	opt     PushOptions
+	done    func(error)
+	settled bool
+}
+
+func (r *pushRun) auditEvent(ok bool, detail string) {
+	r.s.audit = append(r.s.audit, AuditEvent{
+		At:      r.s.host.Kernel().Now(),
+		Device:  r.device,
+		Target:  r.target,
+		Version: r.version,
+		OK:      ok,
+		Detail:  detail,
+	})
+}
+
+func (r *pushRun) settle(outcome error) {
+	if r.settled {
+		return
+	}
+	r.settled = true
+	if outcome == nil {
+		r.s.stats.Successes++
+		r.auditEvent(true, "installed")
+	} else {
+		r.s.stats.Failures++
+		r.auditEvent(false, outcome.Error())
+	}
+	if r.done != nil {
+		r.done(outcome)
+	}
+}
+
+// backoff computes the post-attempt-i delay: capped exponential with
+// seeded ±JitterFrac jitter.
+func (r *pushRun) backoff(i int) time.Duration {
+	d := r.opt.MaxBackoff
+	if shift := i - 1; shift < 20 && r.opt.BaseBackoff<<shift < r.opt.MaxBackoff {
+		d = r.opt.BaseBackoff << shift
+	}
+	if r.opt.JitterFrac > 0 {
+		u := 2*r.opt.Rng.Float64() - 1
+		d = time.Duration(float64(d) * (1 + r.opt.JitterFrac*u))
+	}
+	return d
+}
+
+// attemptFailed records a failed attempt and either schedules the next
+// one or settles the push terminally.
+func (r *pushRun) attemptFailed(i int, err error, retryable bool) {
+	if r.settled {
+		return
+	}
+	if !retryable || i >= r.opt.MaxAttempts {
+		if i > 1 || retryable {
+			err = fmt.Errorf("policy: push failed after %d attempt(s): %w", i, err)
+		}
+		r.settle(err)
+		return
+	}
+	r.auditEvent(false, fmt.Sprintf("attempt %d/%d: %v", i, r.opt.MaxAttempts, err))
+	r.s.stats.Retries++
+	r.s.host.Kernel().After(r.backoff(i), func() { r.attempt(i + 1) })
+}
+
+// attempt runs one connection attempt.
+func (r *pushRun) attempt(i int) {
+	if r.settled {
+		return
+	}
+	r.s.stats.Attempts++
+	conn, err := r.s.host.DialTCP(r.target, AgentPort)
 	if err != nil {
-		return err
+		r.attemptFailed(i, fmt.Errorf("policy: dial: %w", err), true)
+		return
 	}
 
-	finished := false
-	finish := func(outcome error) {
-		if finished {
+	attemptDone := false
+	timeoutEv := r.s.host.Kernel().After(r.opt.AttemptTimeout, func() {
+		if attemptDone || r.settled {
 			return
 		}
-		finished = true
-		detail := "installed"
-		if outcome != nil {
-			detail = outcome.Error()
+		attemptDone = true
+		conn.Abort()
+		r.attemptFailed(i, fmt.Errorf("policy: attempt timed out after %v", r.opt.AttemptTimeout), true)
+	})
+	finishAttempt := func() bool {
+		if attemptDone || r.settled {
+			return false
 		}
-		s.audit = append(s.audit, AuditEvent{
-			At:      s.host.Kernel().Now(),
-			Device:  device,
-			Target:  target,
-			Version: a.version,
-			OK:      outcome == nil,
-			Detail:  detail,
-		})
-		if done != nil {
-			done(outcome)
-		}
+		attemptDone = true
+		timeoutEv.Cancel()
+		return true
 	}
 
 	var resp []byte
 	conn.OnConnect = func() {
-		if err := conn.Write(wire); err != nil {
-			finish(fmt.Errorf("policy: send: %w", err))
-			conn.Abort()
+		if attemptDone || r.settled {
+			return
+		}
+		if err := conn.Write(r.wire); err != nil {
+			if finishAttempt() {
+				conn.Abort()
+				r.attemptFailed(i, fmt.Errorf("policy: send: %w", err), true)
+			}
 		}
 	}
 	conn.OnData = func(p []byte) {
+		if attemptDone || r.settled {
+			return
+		}
 		resp = append(resp, p...)
 		version, errMsg, ok := parseResponse(resp)
 		if !ok {
 			return
 		}
+		if !finishAttempt() {
+			return
+		}
 		switch {
 		case errMsg != "":
-			finish(fmt.Errorf("policy: agent: %s", errMsg))
-		case version != a.version:
-			finish(fmt.Errorf("policy: agent installed v%d, want v%d", version, a.version))
+			r.attemptFailed(i, fmt.Errorf("policy: agent: %s", errMsg), retryableAgentErr(errMsg))
+		case version != r.version:
+			r.attemptFailed(i, fmt.Errorf("policy: agent installed v%d, want v%d", version, r.version), false)
 		default:
-			finish(nil)
+			r.settle(nil)
 		}
 		conn.Close()
 	}
-	conn.OnReset = func() { finish(fmt.Errorf("policy: connection reset")) }
-	conn.OnPeerClose = func() {
-		if !finished {
-			finish(fmt.Errorf("policy: agent closed without replying"))
+	conn.OnReset = func() {
+		if finishAttempt() {
+			r.attemptFailed(i, fmt.Errorf("policy: connection reset"), true)
 		}
 	}
-	s.host.Kernel().After(5*time.Second, func() {
-		if !finished {
-			finish(fmt.Errorf("policy: push timed out"))
-			conn.Abort()
+	conn.OnPeerClose = func() {
+		if finishAttempt() {
+			r.attemptFailed(i, fmt.Errorf("policy: agent closed without replying"), true)
 		}
-	})
-	return nil
+	}
 }
 
 // PushAll distributes each device's current policy to its address and
