@@ -6,6 +6,7 @@
 //
 //	barbican [flags] fig2|fig3a|fig3b|table1|ablations|all
 //	barbican explain [flags]
+//	barbican profile [flags] FILE [FILE]
 //
 // Flags:
 //
@@ -21,6 +22,12 @@
 //	-trace-out DIR   write sampled packet-lifecycle traces (Perfetto
 //	                 trace_event JSON + annotated text) for every run
 //	-trace-sample N  trace 1 packet in N (default 64)
+//	-profile-out DIR write dual-domain profiles (card cost units +
+//	                 kernel wall time) for every run as gzipped pprof
+//	                 and folded stacks, plus merged per-experiment
+//	                 cost profiles
+//	-profile-sample N  kernel profiler samples 1 event in N (default 16;
+//	                 the cost domain is always exact)
 //	-faults PLAN     custom management-channel fault plan for the chaos
 //	                 experiments (e.g. "loss=0.2,down=1s-2.5s")
 //	-fault-seed N    fault-injector seed (default: the simulation seed)
@@ -33,6 +40,10 @@
 // The explain subcommand replays one hypothetical packet against a
 // rule set and prints the matched rule, depth walked, and predicted
 // per-stage cost; see barbican explain -h.
+//
+// The profile subcommand summarizes a profile written by -profile-out
+// (top-N phases and stacks) or, with -diff, reports per-phase and
+// per-stack deltas between two profiles; see barbican profile -h.
 package main
 
 import (
@@ -58,6 +69,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "explain" {
 		return runExplain(os.Stdout, args[1:])
 	}
+	if len(args) > 0 && args[0] == "profile" {
+		return runProfileCmd(os.Stdout, args[1:])
+	}
 	fs := flag.NewFlagSet("barbican", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink sweeps to representative points")
 	duration := fs.Duration("duration", 0, "per-measurement window (0 = tool default)")
@@ -67,11 +81,14 @@ func run(args []string) error {
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	traceOut := fs.String("trace-out", "", "write packet-lifecycle traces (Perfetto JSON + text) under this directory")
 	traceSample := fs.Int("trace-sample", 0, "trace 1 packet in N (0 = 64 default; needs -trace-out)")
+	profileOut := fs.String("profile-out", "", "write dual-domain profiles (pprof + folded stacks) under this directory")
+	profileSample := fs.Int("profile-sample", 0, "kernel profiler samples 1 event in N (0 = 16 default; needs -profile-out)")
 	faultSpec := fs.String("faults", "", `custom management-channel fault plan for the chaos experiments, e.g. "loss=0.2,down=1s-2.5s" (replaces the default condition sweep)`)
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = derive from the simulation seed)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|report|all")
 		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
+		fmt.Fprintln(fs.Output(), "       barbican profile [flags] FILE [FILE]  (summarize or diff profiles)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +103,7 @@ func run(args []string) error {
 		Quick: *quick, Duration: *duration, Seed: *seed,
 		MetricsDir: *metricsOut, SampleEvery: *sampleEvery,
 		TraceDir: *traceOut, TraceSample: *traceSample,
+		ProfileDir: *profileOut, ProfileSample: *profileSample,
 		Parallel: *parallel, Account: acct,
 		FaultSeed: *faultSeed,
 	}

@@ -20,6 +20,11 @@
 // written in the same artifact formats as cmd/barbican: Prometheus
 // text, JSON, and CSV timelines plus a final scrape-style snapshot.
 //
+// With -profile-out the run is profiled in both domains — card cost
+// units attributed per NIC/phase/rule, and host wall time per kernel
+// event handler — and written as gzipped pprof plus folded stacks
+// (see barbican profile to summarize or diff them).
+//
 // With -depths and/or -rates the tool sweeps the cross product on
 // -parallel workers. Each point owns a private simulation, and output
 // is routed through an ordered collector: the lowest unfinished point
@@ -40,6 +45,7 @@ import (
 	"barbican/internal/core"
 	"barbican/internal/faults"
 	"barbican/internal/obs"
+	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
@@ -88,6 +94,8 @@ func run(args []string) error {
 	sampleEvery := fs.Duration("sample-every", 0, "flight-recorder tick in virtual time (0 = 50ms default)")
 	traceOut := fs.String("trace-out", "", "write packet-lifecycle traces (Perfetto JSON + text) under this directory (single runs only)")
 	traceSample := fs.Int("trace-sample", 0, "trace 1 packet in N (0 = 64 default; needs -trace-out)")
+	profileOut := fs.String("profile-out", "", "write dual-domain profiles (pprof + folded stacks) under this directory (single runs only)")
+	profileSample := fs.Int("profile-sample", 0, "kernel profiler samples 1 event in N (0 = 16 default; needs -profile-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,8 +122,8 @@ func run(args []string) error {
 	}
 
 	if *depthList != "" || *rateList != "" {
-		if *metricsOut != "" || *traceOut != "" || *pcapPath != "" {
-			return fmt.Errorf("-metrics-out, -trace-out, and -pcap apply to single runs only, not sweeps")
+		if *metricsOut != "" || *traceOut != "" || *profileOut != "" || *pcapPath != "" {
+			return fmt.Errorf("-metrics-out, -trace-out, -profile-out, and -pcap apply to single runs only, not sweeps")
 		}
 		depths, err := parseInts(*depthList, *depth)
 		if err != nil {
@@ -139,19 +147,22 @@ func run(args []string) error {
 
 	var p core.BandwidthPoint
 	switch {
-	case (*metricsOut != "" || *traceOut != "") && *pcapPath != "":
-		return fmt.Errorf("-metrics-out/-trace-out and -pcap cannot be combined; run twice")
-	case *metricsOut != "" || *traceOut != "":
-		var topt tracing.Options
+	case (*metricsOut != "" || *traceOut != "" || *profileOut != "") && *pcapPath != "":
+		return fmt.Errorf("-metrics-out/-trace-out/-profile-out and -pcap cannot be combined; run twice")
+	case *metricsOut != "" || *traceOut != "" || *profileOut != "":
+		opt := core.ObserveOptions{SampleEvery: *sampleEvery}
 		if *traceOut != "" {
 			n := *traceSample
 			if n <= 0 {
 				n = tracing.DefaultSampleEvery
 			}
-			topt = tracing.Options{SampleEvery: n}
+			opt.Trace = tracing.Options{SampleEvery: n}
+		}
+		if *profileOut != "" {
+			opt.Profile = &profile.Options{KernelSampleEvery: *profileSample}
 		}
 		var inst *core.Instrumentation
-		p, inst, err = core.RunBandwidthTraced(s, *sampleEvery, topt)
+		p, inst, err = core.RunBandwidthObserved(s, opt)
 		if err != nil {
 			return err
 		}
@@ -170,6 +181,13 @@ func run(args []string) error {
 				return werr
 			}
 			paths = append(paths, tp...)
+		}
+		if *profileOut != "" {
+			pp, werr := inst.WriteProfileArtifacts(*profileOut, base)
+			if werr != nil {
+				return werr
+			}
+			paths = append(paths, pp...)
 		}
 		for _, path := range paths {
 			fmt.Println("wrote", path)

@@ -30,6 +30,7 @@ var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/fw.FindingKind", Sentinels: nil},
 	{TypePath: "barbican/internal/nic.FailMode", Sentinels: []string{"NumFailModes"}},
 	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
+	{TypePath: "barbican/internal/obs/profile.Phase", Sentinels: []string{"NumPhases"}},
 }
 
 // Exhaustive returns the analyzer that enforces full constant coverage

@@ -6,6 +6,7 @@ import (
 	"barbican/internal/measure"
 	"barbican/internal/nic"
 	"barbican/internal/obs"
+	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/stack"
 )
@@ -19,6 +20,9 @@ type Instrumentation struct {
 	// Tracer is non-nil when the run was traced (see
 	// RunBandwidthTraced); export it with WriteTraceArtifacts.
 	Tracer *tracing.Tracer
+	// Profiling is non-nil when the run was profiled (see
+	// RunBandwidthObserved); export it with WriteProfileArtifacts.
+	Profiling *Profiling
 
 	// target is the system-under-test card, the authoritative source
 	// of the per-reason drop totals embedded in trace exports.
@@ -86,13 +90,35 @@ func RunBandwidthInstrumented(s Scenario, sampleEvery time.Duration) (BandwidthP
 // tracing at 1-in-N; zero options disable it (identical to
 // RunBandwidthInstrumented).
 func RunBandwidthTraced(s Scenario, sampleEvery time.Duration, topt tracing.Options) (BandwidthPoint, *Instrumentation, error) {
+	return RunBandwidthObserved(s, ObserveOptions{SampleEvery: sampleEvery, Trace: topt})
+}
+
+// ObserveOptions selects which observability pillars ride along with
+// a run: the flight-recorder tick, the packet tracer (enabled by
+// Trace.SampleEvery > 0), and the dual-domain profiler (enabled by a
+// non-nil Profile).
+type ObserveOptions struct {
+	SampleEvery time.Duration
+	Trace       tracing.Options
+	Profile     *profile.Options
+}
+
+// RunBandwidthObserved is RunBandwidth with the full observability
+// harness: metrics and flight recorder always, packet tracer and
+// profilers per opt. Profiled runs carry the merged cost-domain
+// profile on the returned point (CostProfile) so experiment fan-outs
+// can merge per-point profiles deterministically.
+func RunBandwidthObserved(s Scenario, opt ObserveOptions) (BandwidthPoint, *Instrumentation, error) {
 	tb, err := buildTestbed(s)
 	if err != nil {
 		return BandwidthPoint{}, nil, err
 	}
-	inst := Instrument(tb, sampleEvery)
-	if topt.SampleEvery > 0 {
-		inst.Tracer = tb.AttachTracer(topt)
+	inst := Instrument(tb, opt.SampleEvery)
+	if opt.Trace.SampleEvery > 0 {
+		inst.Tracer = tb.AttachTracer(opt.Trace)
+	}
+	if opt.Profile != nil {
+		inst.Profiling = tb.AttachProfiler(*opt.Profile)
 	}
 	flood, err := startFlood(tb, s)
 	if err != nil {
@@ -125,6 +151,9 @@ func RunBandwidthTraced(s Scenario, sampleEvery time.Duration, topt tracing.Opti
 		flood.Stop()
 		p.FloodSent = flood.Sent()
 	}
+	if inst.Profiling != nil {
+		p.CostProfile = inst.Profiling.CostData()
+	}
 	inst.Finish()
 	return p, inst, nil
 }
@@ -141,6 +170,8 @@ type TimelineOptions struct {
 	FloodStop time.Duration
 	// Trace attaches a packet tracer when Trace.SampleEvery > 0.
 	Trace tracing.Options
+	// Profile attaches the dual-domain profiler when non-nil.
+	Profile *profile.Options
 }
 
 // RunFloodTimeline measures bandwidth with the scenario's flood gated
@@ -157,6 +188,9 @@ func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrum
 	inst := Instrument(tb, opt.SampleEvery)
 	if opt.Trace.SampleEvery > 0 {
 		inst.Tracer = tb.AttachTracer(opt.Trace)
+	}
+	if opt.Profile != nil {
+		inst.Profiling = tb.AttachProfiler(*opt.Profile)
 	}
 
 	var flood *measure.Flooder
@@ -200,6 +234,9 @@ func RunFloodTimeline(s Scenario, opt TimelineOptions) (BandwidthPoint, *Instrum
 	if flood != nil {
 		flood.Stop()
 		p.FloodSent = flood.Sent()
+	}
+	if inst.Profiling != nil {
+		p.CostProfile = inst.Profiling.CostData()
 	}
 	inst.Finish()
 	return p, inst, nil

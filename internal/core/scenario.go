@@ -8,6 +8,7 @@ import (
 	"barbican/internal/fw"
 	"barbican/internal/measure"
 	"barbican/internal/nic"
+	"barbican/internal/obs/profile"
 	"barbican/internal/packet"
 	"barbican/internal/trace"
 )
@@ -81,6 +82,10 @@ type BandwidthPoint struct {
 	// inputs to the executor's sim-seconds-per-wall-second accounting.
 	SimSeconds float64
 	WallBusy   time.Duration
+	// CostProfile is the run's merged cost-domain card profile; nil
+	// unless the run was profiled (see RunBandwidthObserved). Excluded
+	// from point serialization — profiles have their own artifacts.
+	CostProfile *profile.Data `json:"-"`
 }
 
 // Mbps returns the measured available bandwidth.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"barbican/internal/faults"
+	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/runner"
 )
@@ -151,6 +152,15 @@ type Config struct {
 	// TraceSample is the tracer's 1-in-N sampling rate; zero uses
 	// tracing.DefaultSampleEvery.
 	TraceSample int
+	// ProfileDir, when non-empty, attaches the dual-domain profiler
+	// (cost-unit card attribution + wall-clock kernel sampling) to
+	// each run and writes pprof + folded-stack artifacts under this
+	// directory, plus a merged per-experiment cost profile.
+	ProfileDir string
+	// ProfileSample is the kernel profiler's 1-in-N event sampling
+	// rate; zero uses profile.DefaultKernelSampleEvery. The cost
+	// domain is always exact.
+	ProfileSample int
 	// Parallel is the number of experiment points measured concurrently;
 	// zero means runtime.GOMAXPROCS(0) and 1 runs points serially on the
 	// calling goroutine. Every point owns a private simulation kernel and
@@ -183,6 +193,15 @@ func (c Config) traceOptions() tracing.Options {
 		n = tracing.DefaultSampleEvery
 	}
 	return tracing.Options{SampleEvery: n}
+}
+
+// profileOptions returns the profiler options the configuration
+// selects: nil (disabled) unless ProfileDir is set.
+func (c Config) profileOptions() *profile.Options {
+	if c.ProfileDir == "" {
+		return nil
+	}
+	return &profile.Options{KernelSampleEvery: c.ProfileSample}
 }
 
 // account records one completed point's cost (or several, for searches

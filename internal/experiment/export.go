@@ -10,19 +10,28 @@ import (
 
 	"barbican/internal/core"
 	"barbican/internal/obs"
+	"barbican/internal/obs/profile"
 )
 
 // runObservedBandwidth runs a bandwidth scenario, attaching a flight
-// recorder (and, with cfg.TraceDir, a packet tracer) and writing
-// per-run telemetry artifacts when cfg.MetricsDir or cfg.TraceDir is
-// set; otherwise it is plain core.RunBandwidth. exp and label name
-// the artifact files: <MetricsDir>/<exp>/<label>.{prom,csv,json} and
-// <TraceDir>/<exp>/<label>.trace.{json,txt}.
+// recorder (and, per cfg, a packet tracer and/or profiler) and
+// writing per-run telemetry artifacts when cfg.MetricsDir,
+// cfg.TraceDir, or cfg.ProfileDir is set; otherwise it is plain
+// core.RunBandwidth. exp and label name the artifact files:
+// <MetricsDir>/<exp>/<label>.{prom,csv,json},
+// <TraceDir>/<exp>/<label>.trace.{json,txt}, and
+// <ProfileDir>/<exp>/<label>.{cost,kernel}.{pprof,folded}. Profiled
+// points carry their merged cost profile (CostProfile) back to the
+// caller for per-experiment aggregation.
 func runObservedBandwidth(cfg Config, exp, label string, s core.Scenario) (core.BandwidthPoint, error) {
-	if cfg.MetricsDir == "" && cfg.TraceDir == "" {
+	if cfg.MetricsDir == "" && cfg.TraceDir == "" && cfg.ProfileDir == "" {
 		return core.RunBandwidth(s)
 	}
-	p, inst, err := core.RunBandwidthTraced(s, cfg.SampleEvery, cfg.traceOptions())
+	p, inst, err := core.RunBandwidthObserved(s, core.ObserveOptions{
+		SampleEvery: cfg.SampleEvery,
+		Trace:       cfg.traceOptions(),
+		Profile:     cfg.profileOptions(),
+	})
 	if err != nil {
 		return p, err
 	}
@@ -42,7 +51,38 @@ func runObservedBandwidth(cfg Config, exp, label string, s core.Scenario) (core.
 			return p, fmt.Errorf("%s/%s: %w", exp, label, err)
 		}
 	}
+	if cfg.ProfileDir != "" {
+		if _, err := inst.WriteProfileArtifacts(filepath.Join(cfg.ProfileDir, exp), label); err != nil {
+			return p, fmt.Errorf("%s/%s: %w", exp, label, err)
+		}
+	}
 	return p, nil
+}
+
+// writeMergedCostProfile merges per-point cost profiles (in the order
+// given, which callers keep in declaration order so the merged bytes
+// are parallelism-independent) and writes them as
+// <ProfileDir>/<exp>/<exp>.cost.{pprof,folded}. No-op without
+// cfg.ProfileDir.
+func writeMergedCostProfile(cfg Config, exp string, parts []*profile.Data) error {
+	if cfg.ProfileDir == "" {
+		return nil
+	}
+	merged := profile.NewData(profile.CostSampleTypes, "cost")
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			return fmt.Errorf("%s: merge cost profile: %w", exp, err)
+		}
+	}
+	dir := filepath.Join(cfg.ProfileDir, exp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, obs.SanitizeName(exp))
+	if err := merged.WritePprofFile(base + ".cost.pprof"); err != nil {
+		return err
+	}
+	return merged.WriteFoldedFile(base + ".cost.folded")
 }
 
 // WriteRuleAttribution writes a run's per-rule firewall breakdown as

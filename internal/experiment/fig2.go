@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"barbican/internal/core"
+	"barbican/internal/obs/profile"
 	"barbican/internal/runner"
 )
 
@@ -41,7 +42,14 @@ func Fig2(cfg Config) (*Figure, error) {
 		tasks = append(tasks, task{series: len(devs), dev: core.DeviceADFVPG, depth: d})
 	}
 
-	points, err := runner.Map(cfg.pool(), len(tasks), func(i int) (Point, error) {
+	// Each point carries its cost profile back so the experiment-level
+	// merge happens in task declaration order, independent of which
+	// worker finished first.
+	type result struct {
+		point Point
+		prof  *profile.Data
+	}
+	results, err := runner.Map(cfg.pool(), len(tasks), func(i int) (result, error) {
 		t := tasks[i]
 		label := fmt.Sprintf("%s_depth-%d", t.dev, t.depth)
 		p, err := runObservedBandwidth(cfg, "fig2", label, core.Scenario{
@@ -49,13 +57,24 @@ func Fig2(cfg Config) (*Figure, error) {
 			Duration: cfg.bandwidthDuration(), Seed: cfg.Seed,
 		})
 		if err != nil {
-			return Point{}, err
+			return result{}, err
 		}
 		cfg.account(1, p.SimSeconds, p.WallBusy)
-		return Point{X: float64(t.depth), Y: p.Mbps()}, nil
+		return result{point: Point{X: float64(t.depth), Y: p.Mbps()}, prof: p.CostProfile}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ProfileDir != "" {
+		parts := make([]*profile.Data, 0, len(results))
+		for _, r := range results {
+			if r.prof != nil {
+				parts = append(parts, r.prof)
+			}
+		}
+		if err := writeMergedCostProfile(cfg, "fig2", parts); err != nil {
+			return nil, err
+		}
 	}
 
 	fig := &Figure{
@@ -69,7 +88,7 @@ func Fig2(cfg Config) (*Figure, error) {
 	fig.Series = append(fig.Series, Series{Label: core.DeviceADFVPG.String()})
 	for i, t := range tasks {
 		s := &fig.Series[t.series]
-		s.Points = append(s.Points, points[i])
+		s.Points = append(s.Points, results[i].point)
 	}
 	return fig, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"barbican/internal/fw"
 	"barbican/internal/link"
+	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
@@ -98,6 +99,12 @@ type NIC struct {
 	rxDrops [tracing.NumDropReasons]uint64
 	txDrops [tracing.NumDropReasons]uint64
 	tracer  *tracing.Tracer
+
+	// Optional cost-domain profiler (nil = disabled, hot-path cost is
+	// a nil check). Recording happens on every successful processor
+	// admission, so the profiler's unit totals reconcile exactly with
+	// the processor's UnitsDone.
+	prof *profile.CardProfiler
 }
 
 // New creates a card with the given hardware profile, attached to one end
@@ -163,6 +170,28 @@ func (n *NIC) Stats() Stats { return n.stats }
 // tracer. The card samples egress packets (Send/SendRawFrame) and
 // records spans for frames whose TraceID is already set.
 func (n *NIC) SetTracer(tr *tracing.Tracer) { n.tracer = tr }
+
+// SetProfiler attaches (or with nil detaches) a cost-domain profiler.
+// The card fills in its device parameters and a lazy rule-label hook
+// that reads whatever policy is installed at export time.
+func (n *NIC) SetProfiler(cp *profile.CardProfiler) {
+	n.prof = cp
+	if cp == nil {
+		return
+	}
+	cp.Device = n.profile.Name
+	cp.PerRule = n.profile.PerRuleCost
+	cp.RuleText = func(i int) string {
+		if n.rules == nil || i < 1 || i > n.rules.Len() {
+			return ""
+		}
+		return n.rules.Rule(i).String()
+	}
+}
+
+// Profiler returns the attached cost-domain profiler (nil when
+// profiling is off).
+func (n *NIC) Profiler() *profile.CardProfiler { return n.prof }
 
 // DropCounts returns the per-reason ingress and egress drop counters,
 // indexed by tracing.DropReason.
@@ -340,6 +369,10 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		}
 		return false
 	}
+	if n.prof != nil {
+		base, match, crypto := n.profile.CostParts(verdict.Traversed, cryptoBytes)
+		n.prof.RecordTx(verdict.Traversed, verdict.Index, base, match, crypto)
+	}
 	if verdict.Action == fw.Deny {
 		n.stats.TxDenied++
 		n.txDrops[tracing.DropRuleDeny]++
@@ -441,6 +474,10 @@ func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 			tr.Drop(tid, tracing.StageNICTx, reason)
 		}
 		return false
+	}
+	if n.prof != nil {
+		base, match, crypto := n.profile.CostParts(0, 0)
+		n.prof.RecordTx(0, 0, base, match, crypto)
 	}
 	n.stats.TxAllowed++
 	if tid != 0 {
@@ -555,6 +592,10 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 			tr.Drop(tid, tracing.StageNICRx, reason)
 		}
 		return
+	}
+	if n.prof != nil {
+		base, match, crypto := n.profile.CostParts(verdict.Traversed, cryptoBytes)
+		n.prof.RecordRx(verdict.Traversed, verdict.Index, base, match, crypto) //barbican:allow alloc -- profiled-only branch; prof==nil on the contract path
 	}
 	if verdict.Action == fw.Deny {
 		n.stats.RxDenied++

@@ -6,6 +6,7 @@ import (
 	"barbican/internal/fw"
 	"barbican/internal/link"
 	"barbican/internal/obs"
+	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
@@ -19,7 +20,11 @@ import (
 // closures only run at gather time. With sampleEvery > 0 a packet
 // tracer is attached and frames are stamped upstream at that 1-in-N
 // rate, measuring the tracing overhead documented in DESIGN.md §8.
-func benchRx(b *testing.B, instrument bool, sampleEvery int) {
+// With profiled, a cost-domain card profiler and a wall-domain kernel
+// profiler are both attached — the documented profiling overhead of
+// DESIGN.md §12; the uninstrumented (profiling-off) variant must stay
+// at 0 allocs/op.
+func benchRx(b *testing.B, instrument bool, sampleEvery int, profiled bool) {
 	k := sim.NewKernel()
 	_, eb := link.New(k, link.Config{QueueFrames: 1 << 16})
 	n := New(k, macB, EFW(), eb)
@@ -34,6 +39,12 @@ func benchRx(b *testing.B, instrument bool, sampleEvery int) {
 	if sampleEvery > 0 {
 		tr = tracing.New(k, tracing.Options{SampleEvery: sampleEvery, Limit: 1024})
 		n.SetTracer(tr)
+	}
+	var cp *profile.CardProfiler
+	if profiled {
+		cp = profile.NewCardProfiler("bench", "", 0)
+		n.SetProfiler(cp)
+		k.SetStepProfiler(profile.NewKernelProfiler(profile.DefaultKernelSampleEvery))
 	}
 
 	d := udpDatagram(ipA, ipB, 1000, 2000, 100)
@@ -61,10 +72,14 @@ func benchRx(b *testing.B, instrument bool, sampleEvery int) {
 	if tr != nil && b.N >= sampleEvery && tr.Sampled() == 0 {
 		b.Fatal("tracer attached but nothing sampled")
 	}
+	if cp != nil && cp.Rx.Packets != uint64(b.N) {
+		b.Fatalf("profiler recorded %d rx packets, want %d", cp.Rx.Packets, b.N)
+	}
 }
 
 func BenchmarkRxPath(b *testing.B) {
-	b.Run("uninstrumented", func(b *testing.B) { benchRx(b, false, 0) })
-	b.Run("instrumented", func(b *testing.B) { benchRx(b, true, 0) })
-	b.Run("traced-1in64", func(b *testing.B) { benchRx(b, true, 64) })
+	b.Run("uninstrumented", func(b *testing.B) { benchRx(b, false, 0, false) })
+	b.Run("instrumented", func(b *testing.B) { benchRx(b, true, 0, false) })
+	b.Run("traced-1in64", func(b *testing.B) { benchRx(b, true, 64, false) })
+	b.Run("profiled", func(b *testing.B) { benchRx(b, true, 0, true) })
 }

@@ -120,6 +120,19 @@ func (p Profile) Cost(rulesTraversed, cryptoBytes int) float64 {
 	return p.cost(rulesTraversed, cryptoBytes)
 }
 
+// CostParts decomposes cost into its phases — fixed base, rule-match
+// walk, and crypto — for the cost-domain profiler. The parts sum to
+// cost(rulesTraversed, cryptoBytes) exactly, which is what lets the
+// profiler attribute 100% of the processor's consumed units.
+func (p Profile) CostParts(rulesTraversed, cryptoBytes int) (base, match, crypto float64) {
+	base = p.BaseCost
+	match = p.PerRuleCost * float64(rulesTraversed)
+	if cryptoBytes > 0 {
+		crypto = p.CryptoPerPacket + p.CryptoPerByte*float64(cryptoBytes)
+	}
+	return base, match, crypto
+}
+
 // ServiceTime converts a cost to the time the embedded processor
 // spends on it. A zero-capacity (wire speed) profile serves instantly.
 func (p Profile) ServiceTime(cost float64) time.Duration {

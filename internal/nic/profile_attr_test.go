@@ -1,0 +1,178 @@
+package nic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"barbican/internal/fw"
+	"barbican/internal/obs/profile"
+	"barbican/internal/packet"
+	"barbican/internal/sim"
+)
+
+// TestCardProfilerAttributionExact is the tentpole reconciliation
+// check: a profiled run must attribute the card's consumed cost units
+// to named phases exactly — profiler totals equal Processor.UnitsDone
+// (the ISSUE's ">= 95%" floor, met with equality up to float
+// accumulation order).
+func TestCardProfilerAttributionExact(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := pair(t, k, Standard(), EFW())
+	const depth = 16
+	rs, err := fw.DepthRuleSet(depth, fw.AllowAllRule(), fw.Deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.InstallRuleSet(rs)
+	b.SetDeliver(func(f *packet.Frame) {})
+
+	cpA := profile.NewCardProfiler("client", "", 0)
+	a.SetProfiler(cpA)
+	cpB := profile.NewCardProfiler("target", "", 0)
+	b.SetProfiler(cpB)
+	if cpB.Device != "EFW" || cpB.PerRule != EFW().PerRuleCost {
+		t.Fatalf("SetProfiler did not fill card params: %q %g", cpB.Device, cpB.PerRule)
+	}
+
+	// Mixed traffic: allowed UDP (walks all depth rules to allow-all)
+	// and TCP SYNs denied by pad rule 1's port scoping... pad rules are
+	// non-matching, so the SYNs also walk to allow-all. Either way every
+	// packet pays depth × PerRuleCost, and every admitted packet —
+	// delivered or denied — must be attributed.
+	for i := 0; i < 50; i++ {
+		d := udpDatagram(ipA, ipB, 1000, 2000, 100)
+		k.At(time.Duration(i)*time.Millisecond, func() { a.Send(d, macB) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Target card: attributed units reconcile exactly with the
+	// processor's accounting.
+	done := b.proc.UnitsDone()
+	got := cpB.Units()
+	if done == 0 {
+		t.Fatal("target: no units consumed")
+	}
+	if math.Abs(got-done) > 1e-6*done {
+		t.Errorf("target: attributed %g units, processor did %g", got, done)
+	}
+	// Client card is wire-speed (Standard, zero cost model): packets
+	// are still counted but carry zero units, matching UnitsDone = 0.
+	if cpA.Tx.Packets != 50 {
+		t.Errorf("client tx packets = %d, want 50", cpA.Tx.Packets)
+	}
+	if cpA.Units() != 0 || a.proc.UnitsDone() != 0 {
+		t.Errorf("wire-speed client attributed %g units, processor %g; want 0", cpA.Units(), a.proc.UnitsDone())
+	}
+
+	// Target rx: every packet traversed exactly depth rules, so the
+	// per-rule reconstruction must show each rule examined by all 50.
+	d := profile.NewData(profile.CostSampleTypes, "cost")
+	cpB.AppendCostSamples(d)
+	ruleSamples := 0
+	for _, s := range d.Samples {
+		if len(s.Stack) == 4 && s.Stack[1] == "rx" && s.Stack[2] == "match" {
+			ruleSamples++
+			if s.Values[1] != 50 {
+				t.Errorf("rule frame %q examined by %d packets, want 50", s.Stack[3], s.Values[1])
+			}
+		}
+	}
+	if ruleSamples != depth {
+		t.Errorf("%d per-rule match samples, want %d", ruleSamples, depth)
+	}
+}
+
+// TestCardProfilerMatchCostLinearInDepth reproduces the profile-level
+// view of the paper's Fig. 2 mechanism: attributed match units grow
+// linearly with rule-set depth while base units stay flat.
+func TestCardProfilerMatchCostLinearInDepth(t *testing.T) {
+	matchUnits := func(depth int) (match, base float64) {
+		k := sim.NewKernel()
+		a, b := pair(t, k, Standard(), EFW())
+		rs, err := fw.DepthRuleSet(depth, fw.AllowAllRule(), fw.Deny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.InstallRuleSet(rs)
+		b.SetDeliver(func(f *packet.Frame) {})
+		cp := profile.NewCardProfiler("target", "", 0)
+		b.SetProfiler(cp)
+		for i := 0; i < 20; i++ {
+			d := udpDatagram(ipA, ipB, 1000, 2000, 64)
+			k.At(time.Duration(i)*time.Millisecond, func() { a.Send(d, macB) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cp.Rx.MatchUnits, cp.Rx.BaseUnits
+	}
+
+	m8, b8 := matchUnits(8)
+	m32, b32 := matchUnits(32)
+	if b8 != b32 {
+		t.Errorf("base units moved with depth: %g vs %g", b8, b32)
+	}
+	if m8 == 0 || math.Abs(m32/m8-4) > 1e-9 {
+		t.Errorf("match units not linear in depth: 8 rules → %g, 32 rules → %g (ratio %g, want 4)", m8, m32, m32/m8)
+	}
+}
+
+// TestProfilerDoesNotPerturbRun checks the observer effect: a profiled
+// run must produce identical card counters to an unprofiled one.
+func TestProfilerDoesNotPerturbRun(t *testing.T) {
+	run := func(prof bool) Stats {
+		k := sim.NewKernel()
+		a, b := pair(t, k, Standard(), EFW())
+		rs, err := fw.DepthRuleSet(8, fw.AllowAllRule(), fw.Deny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.InstallRuleSet(rs)
+		b.SetDeliver(func(f *packet.Frame) {})
+		if prof {
+			b.SetProfiler(profile.NewCardProfiler("target", "", 0))
+		}
+		for i := 0; i < 30; i++ {
+			d := udpDatagram(ipA, ipB, 1000, 2000, 64)
+			k.At(time.Duration(i)*time.Millisecond, func() { a.Send(d, macB) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Stats()
+	}
+	if run(false) != run(true) {
+		t.Error("profiling changed the run's card counters")
+	}
+}
+
+// TestSetProfilerDetach checks nil detaches cleanly mid-run.
+func TestSetProfilerDetach(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := pair(t, k, Standard(), EFW())
+	b.InstallRuleSet(fw.MustRuleSet(fw.Allow))
+	b.SetDeliver(func(f *packet.Frame) {})
+	cp := profile.NewCardProfiler("target", "", 0)
+	b.SetProfiler(cp)
+	a.Send(udpDatagram(ipA, ipB, 1, 2, 64), macB)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Rx.Packets != 1 {
+		t.Fatalf("profiled rx packets = %d, want 1", cp.Rx.Packets)
+	}
+	b.SetProfiler(nil)
+	if b.Profiler() != nil {
+		t.Fatal("Profiler() non-nil after detach")
+	}
+	a.Send(udpDatagram(ipA, ipB, 1, 2, 64), macB)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Rx.Packets != 1 {
+		t.Fatalf("detached profiler still recording: %d packets", cp.Rx.Packets)
+	}
+}

@@ -11,24 +11,58 @@ import (
 	"strings"
 )
 
+// escapeHelp escapes a HELP string for the text exposition: the
+// format reserves backslash escapes and is line-oriented, so literal
+// backslashes and newlines must travel as \\ and \n or they corrupt
+// the output (a raw newline would start a bogus exposition line).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// unescapeHelp inverts escapeHelp when parsing HELP lines.
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
 // WritePromText writes a point-in-time snapshot of the registry in
 // Prometheus text exposition format — exactly what a /metrics scrape of
-// the run would return at the current virtual instant.
+// the run would return at the current virtual instant. Histogram
+// expansion series render as one conventional histogram family.
 func (r *Registry) WritePromText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	samples := r.Gather()
 	for _, fam := range familyOrder(samples) {
 		first := true
 		for _, sv := range samples {
-			if sv.Name != fam {
+			if familyName(sv.SeriesInfo) != fam {
 				continue
 			}
 			if first {
 				first = false
 				if sv.Help != "" {
-					fmt.Fprintf(bw, "# HELP %s %s\n", sv.Name, sv.Help)
+					fmt.Fprintf(bw, "# HELP %s %s\n", fam, escapeHelp(sv.Help))
 				}
-				fmt.Fprintf(bw, "# TYPE %s %s\n", sv.Name, sv.Kind)
+				fmt.Fprintf(bw, "# TYPE %s %s\n", fam, familyKind(sv.SeriesInfo))
 			}
 			fmt.Fprintf(bw, "%s %s\n", sv.ID, formatValue(sv.Value))
 		}
@@ -42,9 +76,10 @@ func familyOrder(samples []SampleValue) []string {
 	var fams []string
 	seen := make(map[string]bool)
 	for _, sv := range samples {
-		if !seen[sv.Name] {
-			seen[sv.Name] = true
-			fams = append(fams, sv.Name)
+		fam := familyName(sv.SeriesInfo)
+		if !seen[fam] {
+			seen[fam] = true
+			fams = append(fams, fam)
 		}
 	}
 	return fams
@@ -60,23 +95,24 @@ func (rec *Recorder) WritePromText(w io.Writer) error {
 	var fams []string
 	seen := make(map[string]bool)
 	for _, sd := range all {
-		if !seen[sd.Info.Name] {
-			seen[sd.Info.Name] = true
-			fams = append(fams, sd.Info.Name)
+		fam := familyName(sd.Info)
+		if !seen[fam] {
+			seen[fam] = true
+			fams = append(fams, fam)
 		}
 	}
 	for _, fam := range fams {
 		first := true
 		for _, sd := range all {
-			if sd.Info.Name != fam {
+			if familyName(sd.Info) != fam {
 				continue
 			}
 			if first {
 				first = false
 				if sd.Info.Help != "" {
-					fmt.Fprintf(bw, "# HELP %s %s\n", sd.Info.Name, sd.Info.Help)
+					fmt.Fprintf(bw, "# HELP %s %s\n", fam, escapeHelp(sd.Info.Help))
 				}
-				fmt.Fprintf(bw, "# TYPE %s %s\n", sd.Info.Name, sd.Info.Kind)
+				fmt.Fprintf(bw, "# TYPE %s %s\n", fam, familyKind(sd.Info))
 			}
 			for _, p := range sd.Points {
 				fmt.Fprintf(bw, "%s %s %d\n", sd.Info.ID, formatValue(p.V), p.T.Milliseconds())

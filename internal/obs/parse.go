@@ -37,7 +37,10 @@ type PromFamily struct {
 // string-matching them, and it accepts the subset of the format those
 // exporters emit: # HELP / # TYPE comments, name{labels} value lines,
 // and optional trailing millisecond timestamps. Families are returned
-// in first-appearance order.
+// in first-appearance order; HELP text is unescaped (\\ and \n).
+// Samples of a declared histogram family's conventional expansion
+// series (name_bucket, name_sum, name_count) are associated with the
+// histogram family, mirroring how the writers group them.
 func ParsePromText(r io.Reader) ([]PromFamily, error) {
 	var order []string
 	byName := make(map[string]*PromFamily)
@@ -49,6 +52,21 @@ func ParsePromText(r io.Reader) ([]PromFamily, error) {
 		byName[name] = f
 		order = append(order, name)
 		return f
+	}
+	// histogramFamily resolves a sample name to the declared histogram
+	// family that owns it, if any: lat_bucket/lat_sum/lat_count all
+	// belong to a family declared `TYPE lat histogram`.
+	histogramFamily := func(name string) (*PromFamily, bool) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suffix)
+			if !ok {
+				continue
+			}
+			if f, ok := byName[base]; ok && f.Kind == "histogram" {
+				return f, true
+			}
+		}
+		return nil, false
 	}
 
 	sc := bufio.NewScanner(r)
@@ -70,7 +88,7 @@ func ParsePromText(r io.Reader) ([]PromFamily, error) {
 			case "TYPE":
 				family(name).Kind = meta
 			case "HELP":
-				family(name).Help = meta
+				family(name).Help = unescapeHelp(meta)
 			}
 			continue
 		}
@@ -78,7 +96,10 @@ func ParsePromText(r io.Reader) ([]PromFamily, error) {
 		if err != nil {
 			return nil, fmt.Errorf("obs: prom text line %d: %w", lineNo, err)
 		}
-		f := family(s.Name)
+		f, ok := histogramFamily(s.Name)
+		if !ok {
+			f = family(s.Name)
+		}
 		f.Samples = append(f.Samples, s)
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,46 @@
+package profile
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPprofToolParses feeds an exported profile to `go tool pprof -raw`
+// — the real consumer — and checks the decoded content survives. It
+// skips when the go tool is unavailable (stripped CI images).
+func TestPprofToolParses(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	if err := exec.Command(goBin, "tool", "pprof", "-h").Run(); err != nil {
+		// pprof exits non-zero on -h in some versions; only skip when
+		// the tool itself is missing.
+		if ee, ok := err.(*exec.ExitError); !ok || len(ee.Stderr) == 0 && ee.ExitCode() < 0 {
+			t.Skipf("go tool pprof unavailable: %v", err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "card.cost.pprof")
+	if err := testProfile().WritePprofFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-raw", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -raw: %v\n%s", err, out)
+	}
+	raw := string(out)
+	for _, want := range []string{
+		"cost/units",
+		"packets/count",
+		"match",
+		"rule 001: allow tcp",
+		"target (EFW)",
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("pprof -raw output missing %q:\n%s", want, raw)
+		}
+	}
+}

@@ -31,6 +31,11 @@ const (
 	KindCounter Kind = iota + 1
 	// KindGauge is a point-in-time level (queue depth, ratio, boolean).
 	KindGauge
+	// KindHistogram is a family-level kind only: a histogram's scalar
+	// expansion series (_bucket/_sum/_count) stay KindCounter so rate
+	// derivation keeps working, and their SeriesInfo.FamilyKind carries
+	// KindHistogram for the conventional text exposition.
+	KindHistogram
 )
 
 // String returns the Prometheus TYPE name of the kind.
@@ -40,6 +45,8 @@ func (k Kind) String() string {
 		return "counter"
 	case KindGauge:
 		return "gauge"
+	case KindHistogram:
+		return "histogram"
 	default:
 		return "untyped"
 	}
@@ -87,6 +94,31 @@ type SeriesInfo struct {
 	Kind Kind
 	// Labels are the series dimensions, in sorted-key order.
 	Labels []Label
+	// Family, when non-empty, names the conventional metric family
+	// this series expands (histogram expansions: name_bucket, name_sum
+	// and name_count all carry Family=name). Text exporters group and
+	// type the exposition by family so downstream Prometheus tooling
+	// sees one histogram, not three counter families.
+	Family string
+	// FamilyKind is the family's exposition TYPE when Family is set.
+	FamilyKind Kind
+}
+
+// familyName returns the exposition family a series belongs to: its
+// declared Family, or its own name for plain scalars.
+func familyName(in SeriesInfo) string {
+	if in.Family != "" {
+		return in.Family
+	}
+	return in.Name
+}
+
+// familyKind returns the family's exposition TYPE.
+func familyKind(in SeriesInfo) Kind {
+	if in.Family != "" {
+		return in.FamilyKind
+	}
+	return in.Kind
 }
 
 // SampleValue is one gathered observation of a series.
@@ -241,7 +273,14 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...L
 	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
 	h.buckets = make([]uint64, len(h.bounds)+1)
 	// Expand into cumulative-bucket collector series so the recorder and
-	// every exporter see plain scalars.
+	// every exporter see plain scalars. Each expansion series is marked
+	// with the histogram family, so text exporters render them as one
+	// conventional `TYPE name histogram` family.
+	markFamily := func() {
+		in := &r.series[len(r.series)-1].info
+		in.Family = name
+		in.FamilyKind = KindHistogram
+	}
 	for i := range h.bounds {
 		i := i
 		le := fmt.Sprintf("%g", h.bounds[i])
@@ -255,6 +294,7 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...L
 		if err != nil {
 			return nil, err
 		}
+		markFamily()
 	}
 	err := r.RegisterFunc(name+"_bucket", help, KindCounter, func() float64 {
 		return float64(h.Count())
@@ -262,15 +302,18 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...L
 	if err != nil {
 		return nil, err
 	}
+	markFamily()
 	if err := r.RegisterFunc(name+"_sum", help, KindCounter, func() float64 { return h.sum }, labels...); err != nil {
 		return nil, err
 	}
+	markFamily()
 	err = r.RegisterFunc(name+"_count", help, KindCounter, func() float64 {
 		return float64(h.Count())
 	}, labels...)
 	if err != nil {
 		return nil, err
 	}
+	markFamily()
 	r.hists = append(r.hists, h)
 	return h, nil
 }

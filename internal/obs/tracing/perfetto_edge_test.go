@@ -1,0 +1,113 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"barbican/internal/sim"
+)
+
+// decodePerfetto unmarshals a trace_event document, failing the test
+// if the exporter emitted invalid JSON.
+func decodePerfetto(t *testing.T, buf *bytes.Buffer) (events []map[string]any, other map[string]string) {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any  `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+	return doc.TraceEvents, doc.OtherData
+}
+
+// TestWritePerfettoEmptyTrace: a tracer that never sampled anything
+// must still export a loadable document — process metadata only, no
+// slices, with run-level drop totals intact.
+func TestWritePerfettoEmptyTrace(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, Options{SampleEvery: 1})
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, ExportOptions{Drops: map[string]uint64{"rule-deny": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	events, other := decodePerfetto(t, &buf)
+	for _, ev := range events {
+		if ph, _ := ev["ph"].(string); ph != "M" {
+			t.Errorf("empty trace contains non-metadata event %v", ev)
+		}
+	}
+	if other["drops_total"] != "3" {
+		t.Errorf("drops_total = %q, want 3", other["drops_total"])
+	}
+}
+
+// TestWritePerfettoSingleSpan: the minimal real trace — one packet,
+// one stage — renders exactly one complete slice with its duration.
+func TestWritePerfettoSingleSpan(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, Options{SampleEvery: 1})
+	id := tr.Begin("udp probe")
+	tr.Span(id, StageNICRx, 10*time.Microsecond, 25*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodePerfetto(t, &buf)
+	var slices []map[string]any
+	for _, ev := range events {
+		if ph, _ := ev["ph"].(string); ph == "X" {
+			slices = append(slices, ev)
+		}
+	}
+	if len(slices) != 1 {
+		t.Fatalf("%d complete slices, want 1", len(slices))
+	}
+	if ts, dur := slices[0]["ts"].(float64), *mustFloat(t, slices[0], "dur"); ts != 10 || dur != 15 {
+		t.Errorf("slice ts=%v dur=%v, want 10/15 µs", ts, dur)
+	}
+}
+
+// TestWritePerfettoSampledOutRun: with an aggressive sampling rate no
+// packet is ever traced (Take stays false); export must behave exactly
+// like the empty trace, not error or emit phantom threads.
+func TestWritePerfettoSampledOutRun(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, Options{SampleEvery: 1 << 20})
+	for i := 0; i < 100; i++ {
+		if tr.Take() {
+			t.Fatal("Take sampled within 100 of 2^20 events")
+		}
+	}
+	if tr.Sampled() != 0 {
+		t.Fatalf("Sampled = %d, want 0", tr.Sampled())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodePerfetto(t, &buf)
+	for _, ev := range events {
+		if ph, _ := ev["ph"].(string); ph == "X" || ph == "i" {
+			t.Errorf("sampled-out run exported slice/instant event: %v", ev)
+		}
+	}
+}
+
+func mustFloat(t *testing.T, ev map[string]any, key string) *float64 {
+	t.Helper()
+	v, ok := ev[key].(float64)
+	if !ok {
+		t.Fatalf("event %v missing float %q", ev, key)
+	}
+	return &v
+}

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"errors"
 	"math/rand"
+	"reflect"
 	"time"
 )
 
@@ -68,6 +69,7 @@ type Kernel struct {
 	// observer hook costing one nil check per event when unset; wall
 	// accounting costs one time.Now pair per Run call, never per event.
 	afterStep func(*Kernel)
+	stepProf  StepProfiler
 	wallBusy  time.Duration
 	runStart  time.Time
 	running   bool
@@ -112,6 +114,30 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // (nil removes it). The hook must not block; it exists for telemetry
 // and progress reporting, and costs a single nil check when unset.
 func (k *Kernel) SetAfterStep(fn func(*Kernel)) { k.afterStep = fn }
+
+// StepProfiler observes sampled event executions for the wall-domain
+// profiler (see internal/obs/profile). Take makes the per-event
+// sampling decision — it is called for EVERY executed event so that
+// counter-based sampling stays deterministic — and a true return is
+// bracketed by BeginStep (with the handler's code pointer and the
+// virtual clock) and EndStep around the callback. The kernel itself
+// never reads the wall clock for profiling; time measurement is the
+// profiler's business, which keeps this package deterministic.
+type StepProfiler interface {
+	Take() bool
+	BeginStep(fn uintptr, at time.Duration)
+	EndStep()
+}
+
+// SetStepProfiler attaches a step profiler (nil detaches). Detached
+// cost is one nil check per event.
+func (k *Kernel) SetStepProfiler(p StepProfiler) { k.stepProf = p }
+
+// funcPC returns the code pointer of a func value, used to label
+// event handlers by symbol without widening the scheduling API. Go
+// func values are pointer-shaped, so the interface conversion here
+// does not allocate.
+func funcPC(fn any) uintptr { return reflect.ValueOf(fn).Pointer() }
 
 // WallBusy returns the cumulative wall-clock time spent inside Run,
 // RunUntil, and RunFor — the denominator of the virtual/wall speedup
@@ -220,6 +246,8 @@ func (k *Kernel) Step() bool {
 	ev.fired = true
 	k.now = ev.at
 	k.executed++
+	prof := k.stepProf
+	sampled := prof != nil && prof.Take()
 	if ev.pooled {
 		// Recycle before firing: the callback may schedule again and
 		// reuse this very event, which is safe once it is off the heap
@@ -227,7 +255,17 @@ func (k *Kernel) Step() bool {
 		fn, arg := ev.fnArg, ev.arg
 		ev.fnArg, ev.arg = nil, nil
 		k.free = append(k.free, ev)
-		fn(arg)
+		if sampled {
+			prof.BeginStep(funcPC(fn), k.now)
+			fn(arg)
+			prof.EndStep()
+		} else {
+			fn(arg)
+		}
+	} else if sampled {
+		prof.BeginStep(funcPC(ev.fn), k.now)
+		ev.fn()
+		prof.EndStep()
 	} else {
 		ev.fn()
 	}

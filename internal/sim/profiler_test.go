@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingProfiler implements StepProfiler and records every call,
+// so tests can assert exactly which events the kernel offered and ran.
+type recordingProfiler struct {
+	every  int
+	seen   int
+	begins []uintptr
+	ats    []time.Duration
+	ends   int
+}
+
+func (p *recordingProfiler) Take() bool {
+	p.seen++
+	return p.seen%p.every == 0
+}
+
+func (p *recordingProfiler) BeginStep(pc uintptr, at time.Duration) {
+	p.begins = append(p.begins, pc)
+	p.ats = append(p.ats, at)
+}
+
+func (p *recordingProfiler) EndStep() { p.ends++ }
+
+func TestStepProfilerSampling(t *testing.T) {
+	k := NewKernel()
+	p := &recordingProfiler{every: 3}
+	k.SetStepProfiler(p)
+
+	ran := 0
+	for i := 0; i < 10; i++ {
+		k.At(time.Duration(i)*time.Millisecond, func() { ran++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d events, want 10", ran)
+	}
+	// Take is offered EVERY executed event; 1-in-3 are bracketed.
+	if p.seen != 10 {
+		t.Fatalf("Take called %d times, want 10", p.seen)
+	}
+	if len(p.begins) != 3 || p.ends != 3 {
+		t.Fatalf("begins=%d ends=%d, want 3 each", len(p.begins), p.ends)
+	}
+	// Sampled steps carry the virtual clock of the event, not wall time.
+	want := []time.Duration{2 * time.Millisecond, 5 * time.Millisecond, 8 * time.Millisecond}
+	for i, at := range p.ats {
+		if at != want[i] {
+			t.Errorf("sampled at[%d] = %v, want %v", i, at, want[i])
+		}
+	}
+}
+
+func TestStepProfilerPooledEvents(t *testing.T) {
+	k := NewKernel()
+	p := &recordingProfiler{every: 1}
+	k.SetStepProfiler(p)
+
+	// AtCall events are pooled; they must be offered to the profiler
+	// with the callback's pc, same as plain At events.
+	got := 0
+	fn := func(arg any) { got += arg.(int) }
+	k.AtCall(time.Millisecond, fn, 2)
+	k.AtCall(2*time.Millisecond, fn, 3)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("pooled callbacks ran wrong: got %d", got)
+	}
+	if len(p.begins) != 2 || p.ends != 2 {
+		t.Fatalf("begins=%d ends=%d, want 2 each", len(p.begins), p.ends)
+	}
+	if p.begins[0] == 0 || p.begins[0] != p.begins[1] {
+		t.Errorf("same handler func should sample the same pc: %v", p.begins)
+	}
+}
+
+func TestStepProfilerDetach(t *testing.T) {
+	k := NewKernel()
+	p := &recordingProfiler{every: 1}
+	k.SetStepProfiler(p)
+	k.At(time.Millisecond, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.seen != 1 {
+		t.Fatalf("attached profiler saw %d events", p.seen)
+	}
+
+	// nil detaches; subsequent events run unobserved.
+	k.SetStepProfiler(nil)
+	k.At(2*time.Millisecond, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.seen != 1 || len(p.begins) != 1 {
+		t.Fatalf("detached profiler still called: seen=%d begins=%d", p.seen, len(p.begins))
+	}
+}
+
+func TestStepProfilerDeterministicPCs(t *testing.T) {
+	// The same scenario must offer the same sampled handler sequence on
+	// every run — the structural half of the determinism contract.
+	run := func() []uintptr {
+		k := NewKernel()
+		p := &recordingProfiler{every: 2}
+		k.SetStepProfiler(p)
+		tick := func(any) {}
+		tock := func() {}
+		for i := 0; i < 8; i++ {
+			k.AtCall(time.Duration(i)*time.Millisecond, tick, nil)
+			k.At(time.Duration(i)*time.Millisecond+time.Microsecond, tock)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.begins
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("sampled counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampled pc sequence diverged at %d", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 #
 #   scripts/bench.sh [output.json]
 #   scripts/bench.sh --compare BENCH_baseline.json [output.json]
+#   scripts/bench.sh --profile-compare OLD NEW
 #
 # Writes BENCH_baseline.json (or the given path) at the repo root with
 # one record per benchmark: ns/op, B/op, allocs/op, MB/s, and any
@@ -17,11 +18,24 @@
 # and the script exits non-zero when any benchmark regresses: ns/op
 # worse than the baseline by more than NSOP_TOL percent (default 10),
 # or allocs/op above the baseline at all (the zero-alloc fast paths
-# admit no tolerance). Benchmarks present on only one side are
-# reported but never fail the gate, so adding or renaming a benchmark
-# doesn't break CI.
+# admit no tolerance; BenchmarkRxPath/uninstrumented in particular
+# must stay at 0 allocs/op with profiling off — the profiled variant's
+# overhead is measured separately as BenchmarkRxPath/profiled).
+# Benchmarks present on only one side are reported but never fail the
+# gate, so adding or renaming a benchmark doesn't break CI.
+#
+# With --profile-compare the two arguments are cost/kernel profiles
+# written by -profile-out (.pprof or .folded); the script prints the
+# per-phase and per-stack deltas of NEW against OLD and exits 0 — the
+# diff is a report, not a gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--profile-compare" ]; then
+  old="${2:?--profile-compare needs OLD and NEW profile paths}"
+  new="${3:?--profile-compare needs OLD and NEW profile paths}"
+  exec go run ./cmd/barbican profile -diff "$old" "$new"
+fi
 
 baseline=""
 if [ "${1:-}" = "--compare" ]; then
