@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	barbican [flags] fig2|fig3a|fig3b|table1|ablations|all
+//	barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|all
 //	barbican explain [flags]
 //	barbican profile [flags] FILE [FILE]
 //
@@ -86,7 +86,7 @@ func run(args []string) error {
 	faultSpec := fs.String("faults", "", `custom management-channel fault plan for the chaos experiments, e.g. "loss=0.2,down=1s-2.5s" (replaces the default condition sweep)`)
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = derive from the simulation seed)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|report|all")
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|report|all")
 		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
 		fmt.Fprintln(fs.Output(), "       barbican profile [flags] FILE [FILE]  (summarize or diff profiles)")
 		fs.PrintDefaults()
@@ -127,6 +127,8 @@ func run(args []string) error {
 		{name: "fig2", fn: renderFigure("fig2", experiment.Fig2)},
 		{name: "fig3a", fn: renderFigure("fig3a", experiment.Fig3a)},
 		{name: "fig3b", fn: renderFigure("fig3b", experiment.Fig3b)},
+		{name: "fig2ng", fn: renderFigure("fig2ng", experiment.Fig2NextGen)},
+		{name: "fig3ng", fn: renderFigure("fig3ng", experiment.Fig3NextGen)},
 		{name: "table1", fn: renderTable("table1", experiment.Table1)},
 		{name: "ablations", fn: renderAblations},
 		{name: "timeline", fn: renderFigure("timeline", experiment.FloodTimeline)},

@@ -69,14 +69,16 @@ func parseDevice(s string) (core.Device, error) {
 		return core.DeviceADFVPG, nil
 	case "iptables":
 		return core.DeviceIPTables, nil
+	case "nextgen":
+		return core.DeviceNextGen, nil
 	default:
-		return 0, fmt.Errorf("unknown device %q (standard|efw|adf|vpg|iptables)", s)
+		return 0, fmt.Errorf("unknown device %q (standard|efw|adf|vpg|iptables|nextgen)", s)
 	}
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("floodsim", flag.ContinueOnError)
-	deviceName := fs.String("device", "efw", "firewall under test: standard|efw|adf|vpg|iptables")
+	deviceName := fs.String("device", "efw", "firewall under test: standard|efw|adf|vpg|iptables|nextgen")
 	depth := fs.Int("depth", 1, "rules (or VPGs) traversed before the action rule")
 	rate := fs.Float64("rate", 0, "flood rate in packets/s (0 = no flood)")
 	deny := fs.Bool("deny", false, "policy denies the flood packets instead of allowing them")

@@ -107,6 +107,10 @@ type lintFinding struct {
 	// sustain for packets that traverse to this rule's depth (Fig. 2's
 	// cost model); set for depth findings only.
 	SustainablePPS float64 `json:"sustainablePps,omitempty"`
+	// SustainablePPSNextGen is the same prediction on the NextGen
+	// compiled-matcher card, whose cost is flat in depth — the
+	// comparison column showing what escaping the linear walk buys.
+	SustainablePPSNextGen float64 `json:"sustainablePpsNextgen,omitempty"`
 }
 
 // lint runs the cross-rule policy linter: conflicting, shadowed,
@@ -136,6 +140,7 @@ func lint(path string, args []string) error {
 	}
 
 	findings := rs.Lint(fw.LintOptions{DepthWarn: *depthWarn})
+	nextgen := nic.NextGen()
 	out := make([]lintFinding, 0, len(findings))
 	errors := 0
 	for _, f := range findings {
@@ -150,6 +155,7 @@ func lint(path string, args []string) error {
 		}
 		if f.Kind == fw.FindingDepth && profile.CapacityUnits > 0 {
 			lf.SustainablePPS = profile.CapacityUnits / profile.Cost(f.Depth, 0)
+			lf.SustainablePPSNextGen = nextgen.CapacityUnits / nextgen.Cost(f.Depth, 0)
 		}
 		if f.Kind.Severity() == fw.SeverityError {
 			errors++
@@ -178,6 +184,8 @@ func lint(path string, args []string) error {
 			if lf.SustainablePPS > 0 {
 				fmt.Printf("  %s sustains ≈ %.0f pkt/s for packets walking %d rules\n",
 					profile.Name, lf.SustainablePPS, lf.Depth)
+				fmt.Printf("  %s (compiled) sustains ≈ %.0f pkt/s at that depth\n",
+					nextgen.Name, lf.SustainablePPSNextGen)
 			}
 		}
 		fmt.Printf("# %d rules, %d finding(s)\n", rs.Len(), len(out))

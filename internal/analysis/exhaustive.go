@@ -29,6 +29,7 @@ var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/obs/tracing.DropReason", Sentinels: []string{"NumDropReasons"}},
 	{TypePath: "barbican/internal/fw.FindingKind", Sentinels: nil},
 	{TypePath: "barbican/internal/nic.FailMode", Sentinels: []string{"NumFailModes"}},
+	{TypePath: "barbican/internal/nic.MatchPath", Sentinels: []string{"NumMatchPaths"}},
 	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
 	{TypePath: "barbican/internal/obs/profile.Phase", Sentinels: []string{"NumPhases"}},
 }

@@ -9,9 +9,9 @@ import (
 	"barbican/internal/runner"
 )
 
-// renderEverything runs the paper's four headline artifacts and renders
-// markdown plus CSV for each — the byte stream the equivalence golden
-// compares across worker counts.
+// renderEverything runs the paper's headline artifacts plus the NextGen
+// depth/flood sweeps and renders markdown plus CSV for each — the byte
+// stream the equivalence golden compares across worker counts.
 func renderEverything(t *testing.T, cfg Config) []byte {
 	t.Helper()
 	var out bytes.Buffer
@@ -28,12 +28,20 @@ func renderEverything(t *testing.T, cfg Config) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fig2ng, err := Fig2NextGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3ng, err := Fig3NextGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tab1, err := Table1(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	for _, fig := range []*Figure{fig2, fig3a, fig3b} {
+	for _, fig := range []*Figure{fig2, fig3a, fig3b, fig2ng, fig3ng} {
 		out.WriteString(fig.Markdown())
 		if err := fig.WriteCSV(&out); err != nil {
 			t.Fatal(err)

@@ -7,9 +7,13 @@ import (
 	"barbican/internal/packet"
 )
 
+// BenchmarkEvalByDepth is the paper's depth cliff in benchmark form:
+// the linear walk's cost grows with the action rule's position, while
+// the compiled matcher's stays ~flat (the "modern NIC" fast path). Both
+// paths must hold 0 allocs/op.
 func BenchmarkEvalByDepth(b *testing.B) {
 	s := tcpSummary("10.0.0.1", "10.0.0.2", 4242, 80)
-	for _, depth := range []int{1, 8, 64} {
+	for _, depth := range []int{1, 8, 64, 512} {
 		rs, err := DepthRuleSet(depth, AllowAllRule(), Deny)
 		if err != nil {
 			b.Fatal(err)
@@ -19,6 +23,34 @@ func BenchmarkEvalByDepth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if v := rs.Eval(s, In); v.Action != Allow {
 					b.Fatal("unexpected deny")
+				}
+			}
+		})
+		c := Compile(rs)
+		b.Run(fmt.Sprintf("compiled-depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v := c.Eval(s, In); v.Action != Allow {
+					b.Fatal("unexpected deny")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile prices the one-time compilation a policy install
+// pays for depth-independent lookups.
+func BenchmarkCompile(b *testing.B) {
+	for _, depth := range []int{64, 512} {
+		rs, err := DepthRuleSet(depth, AllowAllRule(), Deny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if Compile(rs) == nil {
+					b.Fatal("nil compile")
 				}
 			}
 		})

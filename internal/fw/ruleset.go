@@ -26,7 +26,7 @@ type Verdict struct {
 // RuleSet is an ordered, first-match packet filter policy.
 type RuleSet struct {
 	rules   []Rule
-	view    []Rule // cached copy handed out by Rules; rules are immutable post-construction
+	view    []Rule // copy handed out by Rules, built in NewRuleSet so concurrent readers never race
 	def     Action
 	matches []uint64 // per-rule match counts
 	defHits uint64
@@ -46,6 +46,7 @@ func NewRuleSet(def Action, rules ...Rule) (*RuleSet, error) {
 	}
 	rs := &RuleSet{
 		rules:   append([]Rule(nil), rules...),
+		view:    append([]Rule(nil), rules...),
 		def:     def,
 		matches: make([]uint64, len(rules)),
 	}
@@ -71,16 +72,12 @@ func (rs *RuleSet) Default() Action { return rs.def }
 // Rule returns the 1-based i'th rule.
 func (rs *RuleSet) Rule(i int) *Rule { return &rs.rules[i-1] }
 
-// Rules returns the rules in order. The returned slice is cached — a
-// rule-set's rules are immutable after construction, so repeated calls
-// (markdown/analysis render loops) share one copy instead of allocating
-// a defensive copy each time. Callers must not modify it.
-func (rs *RuleSet) Rules() []Rule {
-	if rs.view == nil {
-		rs.view = append([]Rule(nil), rs.rules...)
-	}
-	return rs.view
-}
+// Rules returns the rules in order. The returned slice is a copy built
+// once at construction — a rule-set's rules are immutable afterwards, so
+// repeated calls (markdown/analysis render loops, metric-gather
+// closures) share one copy and may run concurrently. Callers must not
+// modify it.
+func (rs *RuleSet) Rules() []Rule { return rs.view }
 
 // Each calls fn for each rule in order with its 1-based index, stopping
 // early if fn returns false. It is the allocation-free alternative to
@@ -110,6 +107,21 @@ func (rs *RuleSet) Eval(s packet.Summary, dir Direction) Verdict {
 	}
 	rs.defHits++
 	return Verdict{Action: rs.def, Traversed: len(rs.rules)}
+}
+
+// Record applies the counter updates an Eval producing verdict v would
+// have applied, without re-evaluating. It lets a caller that replayed a
+// remembered verdict (a flow-cache hit) keep the per-rule hit counts,
+// eval totals, and default-hit totals identical to an uncached walk.
+//
+//barbican:noalloc
+func (rs *RuleSet) Record(v Verdict) {
+	rs.evals++
+	if v.Index > 0 {
+		rs.matches[v.Index-1]++
+		return
+	}
+	rs.defHits++
 }
 
 // CountVPGCandidates returns how many VPG rules applicable to direction

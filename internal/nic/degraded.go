@@ -157,7 +157,7 @@ func (n *NIC) CommitPolicyUpdate(rs *fw.RuleSet) {
 		n.recoverEv.Cancel()
 		n.recoverEv = nil
 	}
-	n.rules = rs
+	n.setRules(rs)
 	n.lastCommitted = rs
 	n.degState = StateHealthy
 }
@@ -215,6 +215,10 @@ func (n *NIC) enterDegraded(fromOverload bool) {
 	n.degState = StateDegraded
 	n.overloadDegrade = fromOverload
 	n.stats.DegradedEntries++
+	// Posture change: verdicts cached while healthy must not outlive
+	// the transition (and the flow cache must be cold when the watchdog
+	// later restores enforcement).
+	n.invalidateFlowCache()
 	if n.recoverEv != nil {
 		n.recoverEv.Cancel()
 	}
@@ -233,7 +237,7 @@ func (n *NIC) recoverCheck() {
 		n.recoverEv = n.kernel.After(DefaultRecoveryInterval, n.recoverCheck)
 		return
 	}
-	n.rules = n.lastCommitted
+	n.setRules(n.lastCommitted)
 	n.degState = StateHealthy
 	n.stats.WatchdogResets++
 }

@@ -97,12 +97,22 @@ type Explanation struct {
 	RuleText  string // DSL rendering of the matched rule, "" for default
 	Traversed int    // rules examined before the verdict
 
-	WalkCost    float64 // PerRuleCost × Traversed
+	// WalkCost is the rule-match cost: PerRuleCost × Traversed on a
+	// linear profile, the flat CompiledLookupCost on a compiled one
+	// (and 0 with no policy installed).
+	WalkCost    float64
 	BaseCost    float64
 	CryptoCost  float64
 	TotalCost   float64
 	ServiceTime time.Duration // processor time at the profile's capacity
 	MaxPPS      float64       // capacity / TotalCost; 0 = wire speed
+
+	// Compiled-matcher / flow-cache state (NextGen-class profiles).
+	Compiled        bool    // the profile compiles its rule set
+	FlowCache       bool    // the profile caches per-flow verdicts
+	CacheHitCost    float64 // match cost when the flow's verdict is cached
+	CachedTotalCost float64 // total per-packet cost on a cache hit
+	CachedMaxPPS    float64 // capacity / CachedTotalCost; 0 = wire speed or no cache
 }
 
 // Explain replays one packet summary against a rule set (nil = no
@@ -134,15 +144,31 @@ func Explain(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction) Expl
 	if s.Sealed && e.Action == fw.Allow && e.RuleIndex > 0 && rs.Rule(e.RuleIndex).IsVPG() {
 		cryptoBytes = s.IPLen
 	}
-	e.WalkCost = p.PerRuleCost * float64(e.Traversed)
+	e.Compiled = p.CompiledMatch
+	e.FlowCache = p.FlowCacheSize > 0
+	e.CacheHitCost = p.CacheHitCost
+	switch {
+	case rs == nil:
+		// No policy consulted: no match cost on any profile.
+	case p.CompiledMatch:
+		e.WalkCost = p.CompiledLookupCost
+	default:
+		e.WalkCost = p.PerRuleCost * float64(e.Traversed)
+	}
 	e.BaseCost = p.BaseCost
 	if cryptoBytes > 0 {
 		e.CryptoCost = p.CryptoPerPacket + p.CryptoPerByte*float64(cryptoBytes)
 	}
-	e.TotalCost = p.Cost(e.Traversed, cryptoBytes)
+	e.TotalCost = e.BaseCost + e.WalkCost + e.CryptoCost
 	e.ServiceTime = p.ServiceTime(e.TotalCost)
 	if p.CapacityUnits > 0 && e.TotalCost > 0 {
 		e.MaxPPS = p.CapacityUnits / e.TotalCost
+	}
+	if e.FlowCache && rs != nil {
+		e.CachedTotalCost = e.BaseCost + e.CacheHitCost + e.CryptoCost
+		if p.CapacityUnits > 0 && e.CachedTotalCost > 0 {
+			e.CachedMaxPPS = p.CapacityUnits / e.CachedTotalCost
+		}
 	}
 	return e
 }
@@ -154,9 +180,13 @@ func (e Explanation) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "packet: %s %s (%d-byte IP)\n", e.Dir, e.Summary.String(), e.Summary.IPLen)
 	fmt.Fprintf(&b, "device: %s", e.Profile.Name)
-	if e.Profile.CapacityUnits > 0 {
+	switch {
+	case e.Profile.CapacityUnits > 0 && e.Compiled:
+		fmt.Fprintf(&b, " (capacity %.0f units/s, base %.4g, compiled lookup %.4g, cache hit %.4g)",
+			e.Profile.CapacityUnits, e.Profile.BaseCost, e.Profile.CompiledLookupCost, e.Profile.CacheHitCost)
+	case e.Profile.CapacityUnits > 0:
 		fmt.Fprintf(&b, " (capacity %.0f units/s, base %.4g, per-rule %.4g)", e.Profile.CapacityUnits, e.Profile.BaseCost, e.Profile.PerRuleCost)
-	} else {
+	default:
 		b.WriteString(" (wire speed, no filtering cost)")
 	}
 	b.WriteByte('\n')
@@ -170,7 +200,11 @@ func (e Explanation) Render() string {
 		fmt.Fprintf(&b, "verdict: %v (no policy installed)\n", e.Action)
 	}
 	fmt.Fprintf(&b, "predicted cost:\n")
-	fmt.Fprintf(&b, "  rule walk   %8.1f units (%d × %.4g)\n", e.WalkCost, e.Traversed, e.Profile.PerRuleCost)
+	if e.Compiled {
+		fmt.Fprintf(&b, "  lookup      %8.1f units (compiled classifier, flat at any depth)\n", e.WalkCost)
+	} else {
+		fmt.Fprintf(&b, "  rule walk   %8.1f units (%d × %.4g)\n", e.WalkCost, e.Traversed, e.Profile.PerRuleCost)
+	}
 	fmt.Fprintf(&b, "  base        %8.1f units\n", e.BaseCost)
 	if e.CryptoCost > 0 {
 		fmt.Fprintf(&b, "  vpg crypto  %8.1f units\n", e.CryptoCost)
@@ -180,5 +214,12 @@ func (e Explanation) Render() string {
 		fmt.Fprintf(&b, " → %v on card, ≈ %.0f pkt/s sustainable", e.ServiceTime, e.MaxPPS)
 	}
 	b.WriteByte('\n')
+	if e.FlowCache && e.CachedTotalCost > 0 {
+		fmt.Fprintf(&b, "  cached flow %8.1f units match → total %.1f units", e.CacheHitCost, e.CachedTotalCost)
+		if e.Profile.CapacityUnits > 0 {
+			fmt.Fprintf(&b, ", ≈ %.0f pkt/s sustainable", e.CachedMaxPPS)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }

@@ -1,0 +1,138 @@
+package nic
+
+import (
+	"barbican/internal/fw"
+	"barbican/internal/packet"
+)
+
+// flowCache is the XDP-style per-flow verdict cache: a bounded map from
+// a packet's flow identity to the verdict the policy produced for that
+// flow, so repeated packets of an established flow pay one hash lookup
+// (Profile.CacheHitCost) instead of a rule match. Entries never expire
+// on their own; the whole cache is invalidated on every policy commit
+// and degraded-mode transition, which is what keeps a cached verdict
+// always equal to what the installed policy would decide.
+//
+// The structure is an index map over fixed parallel slot arrays with a
+// round-robin eviction cursor: bounded memory, deterministic eviction
+// order, and a hit path that performs no map writes — so lookup holds
+// 0 allocs/op under the noalloc gate.
+
+// flowKey is the flow identity a verdict depends on. It carries exactly
+// the packet attributes fw.Rule.Matches reads — protocol, addresses,
+// ports (and whether they exist), sealing, travel direction — and
+// nothing else, so two packets with equal keys are guaranteed the same
+// verdict under a fixed policy. Per-packet attributes that do not
+// change the verdict (length, TCP flags, fragmentation) stay out of
+// the key and keep the hit rate high.
+type flowKey struct {
+	src, dst         packet.IP
+	srcPort, dstPort uint16
+	proto            packet.Protocol
+	dir              fw.Direction
+	flags            uint8 // bit 0: has transport ports; bit 1: sealed
+}
+
+// FlowCacheStats is a snapshot of the cache's counters.
+type FlowCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Entries       int
+}
+
+type flowCache struct {
+	cap      int
+	idx      map[flowKey]int32
+	keys     []flowKey
+	verdicts []fw.Verdict
+	used     []bool
+	cursor   int
+
+	hits, misses, evictions, invalidations uint64
+}
+
+func newFlowCache(capacity int) *flowCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &flowCache{
+		cap:      capacity,
+		idx:      make(map[flowKey]int32, capacity),
+		keys:     make([]flowKey, capacity),
+		verdicts: make([]fw.Verdict, capacity),
+		used:     make([]bool, capacity),
+	}
+}
+
+// key builds the flow identity for a packet summary traveling in dir.
+//
+//barbican:noalloc
+func (c *flowCache) key(s packet.Summary, dir fw.Direction) flowKey {
+	k := flowKey{src: s.Src, dst: s.Dst, proto: s.Proto, dir: dir}
+	if s.HasPorts {
+		k.srcPort, k.dstPort = s.SrcPort, s.DstPort
+		k.flags |= 1
+	}
+	if s.Sealed {
+		k.flags |= 2
+	}
+	return k
+}
+
+// lookup returns the cached verdict for the packet's flow. It is the
+// per-packet hot path: one map read, no writes beyond the counters.
+//
+//barbican:noalloc
+func (c *flowCache) lookup(s packet.Summary, dir fw.Direction) (fw.Verdict, bool) {
+	if i, ok := c.idx[c.key(s, dir)]; ok {
+		c.hits++
+		return c.verdicts[i], true
+	}
+	c.misses++
+	return fw.Verdict{}, false
+}
+
+// insert remembers the verdict for the packet's flow, evicting the
+// slot under the round-robin cursor when the cache is full.
+func (c *flowCache) insert(s packet.Summary, dir fw.Direction, v fw.Verdict) {
+	k := c.key(s, dir)
+	if i, ok := c.idx[k]; ok {
+		c.verdicts[i] = v
+		return
+	}
+	slot := c.cursor
+	c.cursor++
+	if c.cursor == c.cap {
+		c.cursor = 0
+	}
+	if c.used[slot] {
+		delete(c.idx, c.keys[slot])
+		c.evictions++
+	}
+	c.keys[slot] = k
+	c.verdicts[slot] = v
+	c.used[slot] = true
+	c.idx[k] = int32(slot)
+}
+
+// invalidate drops every cached verdict. Called on policy commits and
+// degraded-mode transitions; the map keeps its buckets, so refill after
+// invalidation does not allocate in steady state.
+func (c *flowCache) invalidate() {
+	clear(c.idx)
+	for i := range c.used {
+		c.used[i] = false
+	}
+	c.cursor = 0
+	c.invalidations++
+}
+
+func (c *flowCache) stats() FlowCacheStats {
+	return FlowCacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Entries: len(c.idx),
+	}
+}

@@ -66,6 +66,14 @@ type NIC struct {
 	sealers map[string]*vpg.Sealer
 	replay  map[replayKey]*vpg.ReplayWindow
 
+	// Fast-path machinery for CompiledMatch/FlowCacheSize profiles:
+	// compiled is the depth-independent matcher for the current rules
+	// (nil on linear profiles or without policy), fcache the per-flow
+	// verdict cache (nil when the profile has none). Both are kept in
+	// sync with rules by setRules — never assign n.rules directly.
+	compiled *fw.CompiledSet
+	fcache   *flowCache
+
 	locked      bool
 	winStart    time.Duration
 	deniedInWin int
@@ -121,6 +129,7 @@ func New(k *sim.Kernel, mac packet.MAC, profile Profile, ep *link.Endpoint) *NIC
 		groups:  make(map[string]*vpg.Group),
 		sealers: make(map[string]*vpg.Sealer),
 		replay:  make(map[replayKey]*vpg.ReplayWindow),
+		fcache:  newFlowCache(profile.FlowCacheSize),
 	}
 	n.txFn = func(x any) {
 		if !n.locked {
@@ -231,8 +240,72 @@ func (n *NIC) SetDeliver(fn func(*packet.Frame)) { n.deliver = fn }
 // central policy server. A direct install is a committed policy: it is
 // what a degraded card's watchdog reset restores.
 func (n *NIC) InstallRuleSet(rs *fw.RuleSet) {
-	n.rules = rs
+	n.setRules(rs)
 	n.lastCommitted = rs
+}
+
+// setRules makes rs the active enforced policy. Every assignment of the
+// active rule set funnels through here so the compiled matcher stays in
+// sync and the flow cache never serves a verdict produced under a
+// previous policy: any policy change — commit, degraded-mode
+// enforcement swap, watchdog restore — invalidates the whole cache.
+func (n *NIC) setRules(rs *fw.RuleSet) {
+	n.rules = rs
+	switch {
+	case rs == nil:
+		n.compiled = nil
+	case n.profile.CompiledMatch:
+		// Recompile only on an actual rule-set change; the watchdog
+		// restoring the already-compiled committed policy reuses it.
+		if n.compiled == nil || n.compiled.RuleSet() != rs {
+			n.compiled = fw.Compile(rs)
+		}
+	}
+	n.invalidateFlowCache()
+}
+
+// invalidateFlowCache drops every cached flow verdict (no-op without a
+// cache). Called on policy changes and degraded-mode transitions.
+func (n *NIC) invalidateFlowCache() {
+	if n.fcache != nil {
+		n.fcache.invalidate()
+	}
+}
+
+// FlowCacheStats returns a snapshot of the per-flow verdict cache's
+// counters (all zero when the profile has no cache).
+func (n *NIC) FlowCacheStats() FlowCacheStats {
+	if n.fcache == nil {
+		return FlowCacheStats{}
+	}
+	return n.fcache.stats()
+}
+
+// evalPolicy produces the verdict for a policy-subject packet: the flow
+// cache first, then the compiled matcher when the profile has one,
+// otherwise the linear reference walk. A cache hit replays the
+// remembered verdict and applies the same counter updates the walk
+// would (fw.RuleSet.Record), so per-rule hit metrics and attribution
+// stay exact. Callers guarantee n.rules != nil.
+//
+//barbican:noalloc
+func (n *NIC) evalPolicy(s packet.Summary, dir fw.Direction) (fw.Verdict, MatchPath) {
+	if n.fcache != nil {
+		if v, ok := n.fcache.lookup(s, dir); ok {
+			n.rules.Record(v)
+			return v, MatchCacheHit
+		}
+	}
+	var v fw.Verdict
+	if n.compiled != nil {
+		v = n.compiled.Eval(s, dir)
+	} else {
+		v = n.rules.Eval(s, dir)
+	}
+	if n.fcache != nil {
+		n.fcache.insert(s, dir, v)
+	}
+	return v, MatchWalk
 }
 
 // RuleSet returns the enforced policy (nil when unfiltered).
@@ -304,7 +377,7 @@ func (n *NIC) RestartAgent() {
 		n.recoverEv = nil
 	}
 	if n.degState != StateHealthy {
-		n.rules = n.lastCommitted
+		n.setRules(n.lastCommitted)
 		n.degState = StateHealthy
 	}
 }
@@ -344,8 +417,9 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	}
 
 	verdict := fw.Verdict{Action: fw.Allow}
+	path := MatchNone
 	if n.rules != nil && !n.isManagement(s) {
-		verdict = n.rules.Eval(s, fw.Out)
+		verdict, path = n.evalPolicy(s, fw.Out)
 		if tid != 0 {
 			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String())
 		}
@@ -358,7 +432,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		cryptoBytes = len(d.Payload) + vpg.Overhead(len(sealGroup))
 	}
 
-	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
+	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes))
 	if !ok {
 		n.stats.TxOverloadDrops++
 		reason := n.overloadReason()
@@ -370,7 +444,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		return false
 	}
 	if n.prof != nil {
-		base, match, crypto := n.profile.CostParts(verdict.Traversed, cryptoBytes)
+		base, match, crypto := n.profile.CostPartsPath(path, verdict.Traversed, cryptoBytes)
 		n.prof.RecordTx(verdict.Traversed, verdict.Index, base, match, crypto)
 	}
 	if verdict.Action == fw.Deny {
@@ -464,7 +538,7 @@ func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 			// Unreachable: StateDegraded requires an armed machine.
 		}
 	}
-	completeAt, ok := n.proc.Admit(n.profile.cost(0, 0))
+	completeAt, ok := n.proc.Admit(n.profile.CostPath(MatchNone, 0, 0))
 	if !ok {
 		n.stats.TxOverloadDrops++
 		reason := n.overloadReason()
@@ -476,7 +550,7 @@ func (n *NIC) SendRawFrame(f *packet.Frame) bool {
 		return false
 	}
 	if n.prof != nil {
-		base, match, crypto := n.profile.CostParts(0, 0)
+		base, match, crypto := n.profile.CostPartsPath(MatchNone, 0, 0)
 		n.prof.RecordTx(0, 0, base, match, crypto)
 	}
 	n.stats.TxAllowed++
@@ -554,8 +628,9 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 	}
 
 	verdict := fw.Verdict{Action: fw.Allow}
+	path := MatchNone
 	if n.rules != nil && !n.isManagement(s) {
-		verdict = n.rules.Eval(s, fw.In)
+		verdict, path = n.evalPolicy(s, fw.In)
 		if tid != 0 {
 			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String()) //barbican:allow alloc -- traced-only branch; tid==0 when no tracer is attached
 		}
@@ -582,7 +657,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		}
 	}
 
-	completeAt, ok := n.proc.Admit(n.profile.cost(verdict.Traversed, cryptoBytes))
+	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes))
 	if !ok {
 		n.stats.RxOverloadDrops++
 		reason := n.overloadReason()
@@ -594,7 +669,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		return
 	}
 	if n.prof != nil {
-		base, match, crypto := n.profile.CostParts(verdict.Traversed, cryptoBytes)
+		base, match, crypto := n.profile.CostPartsPath(path, verdict.Traversed, cryptoBytes)
 		n.prof.RecordRx(verdict.Traversed, verdict.Index, base, match, crypto) //barbican:allow alloc -- profiled-only branch; prof==nil on the contract path
 	}
 	if verdict.Action == fw.Deny {

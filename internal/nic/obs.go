@@ -82,6 +82,19 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 	gauge("nic_degraded_state", "Policy-plane state (0 healthy, 1 updating, 2 degraded, 3 wedged).",
 		func() float64 { return float64(n.DegradedState()) })
 
+	if n.fcache != nil {
+		counter("nic_flow_cache_hits_total", "Packets whose verdict was replayed from the per-flow cache.",
+			func() float64 { return float64(n.fcache.hits) })
+		counter("nic_flow_cache_misses_total", "Policy-subject packets that required a rule match.",
+			func() float64 { return float64(n.fcache.misses) })
+		counter("nic_flow_cache_evictions_total", "Cached flow verdicts displaced by the bounded cache.",
+			func() float64 { return float64(n.fcache.evictions) })
+		counter("nic_flow_cache_invalidations_total", "Whole-cache invalidations (policy commits and degraded-mode transitions).",
+			func() float64 { return float64(n.fcache.invalidations) })
+		gauge("nic_flow_cache_entries", "Flow verdicts currently cached.",
+			func() float64 { return float64(len(n.fcache.idx)) })
+	}
+
 	gauge("nic_locked", "Whether the card is currently wedged (0/1).",
 		func() float64 {
 			if n.locked {
