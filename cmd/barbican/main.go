@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|all
+//	barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|detect|fleet-health|all
 //	barbican explain [flags]
 //	barbican profile [flags] FILE [FILE]
 //
@@ -36,6 +36,14 @@
 // deliberately faulty management channel (seeded loss, corruption, and
 // partition windows) and reports policy-convergence time and available
 // bandwidth; see internal/faults for the plan syntax.
+//
+// The detect family exercises the in-band telemetry plane: NIC agents
+// report card health over the management network, the collector's
+// per-device detectors raise flood alerts, and the experiments report
+// time-to-detect and window-of-exposure versus flood rate, card type,
+// and management-channel faults. fleet-health runs the canonical
+// detection scenario and renders the collector's fleet table plus the
+// alert timeline.
 //
 // The explain subcommand replays one hypothetical packet against a
 // rule set and prints the matched rule, depth walked, and predicted
@@ -86,7 +94,7 @@ func run(args []string) error {
 	faultSpec := fs.String("faults", "", `custom management-channel fault plan for the chaos experiments, e.g. "loss=0.2,down=1s-2.5s" (replaces the default condition sweep)`)
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = derive from the simulation seed)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|report|all")
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|detect|fleet-health|report|all")
 		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
 		fmt.Fprintln(fs.Output(), "       barbican profile [flags] FILE [FILE]  (summarize or diff profiles)")
 		fs.PrintDefaults()
@@ -138,6 +146,8 @@ func run(args []string) error {
 		{name: "rfc2544", fn: renderTable("rfc2544", experiment.AppendixRFC2544)},
 		{name: "latency", fn: renderTable("latency", experiment.AppendixLatency)},
 		{name: "chaos", fn: renderChaos},
+		{name: "detect", fn: renderDetect},
+		{name: "fleet-health", fn: experiment.FleetHealth},
 		{name: "report", fn: experiment.Report},
 	}
 
@@ -211,6 +221,29 @@ func renderChaos(cfg experiment.Config) (string, error) {
 		return "", err
 	}
 	return fig + "\n" + tab, nil
+}
+
+func renderDetect(cfg experiment.Config) (string, error) {
+	fig, err := renderFigure("detect-latency", experiment.DetectionLatency)(cfg)
+	if err != nil {
+		return "", err
+	}
+	out := fig
+	for _, t := range []struct {
+		name string
+		fn   func(experiment.Config) (*experiment.Table, error)
+	}{
+		{"detect-exposure", experiment.DetectionExposure},
+		{"detect-chaos", experiment.DetectionChaos},
+		{"detect-false-positives", experiment.DetectionFalsePositives},
+	} {
+		tab, err := renderTable(t.name, t.fn)(cfg)
+		if err != nil {
+			return "", err
+		}
+		out += "\n" + tab
+	}
+	return out, nil
 }
 
 func renderAblations(cfg experiment.Config) (string, error) {

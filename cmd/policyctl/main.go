@@ -9,6 +9,8 @@
 //	policyctl demo <file>             push the policy to a simulated EFW fleet and report
 //	policyctl explain <file> [flags]  replay one packet against the policy and predict
 //	                                  matched rule, depth walked, and per-stage cost
+//	policyctl health [flags]          run the canonical flood-detection scenario and
+//	                                  render the fleet-health table and alert timeline
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"barbican/internal/core"
+	"barbican/internal/experiment"
 	"barbican/internal/fw"
 	"barbican/internal/nic"
 	"barbican/internal/packet"
@@ -37,7 +40,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("policyctl", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | analyze <file> | oracle | demo <file> | explain <file> [flags]")
+		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | analyze <file> | oracle | demo <file> | explain <file> [flags] | health [flags]")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +67,8 @@ func run(args []string) error {
 			flags = fs.Args()[2:]
 		}
 		return explain(fs.Arg(1), flags)
+	case "health":
+		return health(fs.Args()[1:])
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown subcommand %q", fs.Arg(0))
@@ -287,6 +292,29 @@ func demo(path string) error {
 type policyHost struct {
 	host  *stack.Host
 	agent *policy.Agent
+}
+
+// health runs the canonical detection scenario — an admitted flood
+// against a telemetry-reporting fleet with a responsive deny push —
+// and prints the operator's view: headline detection metrics, the
+// collector's fleet-health table, and the alert timeline.
+func health(args []string) error {
+	fs := flag.NewFlagSet("policyctl health", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shorter measurement window")
+	seed := fs.Int64("seed", 0, "simulation seed (0 = 1)")
+	duration := fs.Duration("duration", 0, "flood window (0 = tool default)")
+	metricsOut := fs.String("metrics-out", "", "write fleet-health table, alert timeline, and metric snapshot under this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out, err := experiment.FleetHealth(experiment.Config{
+		Quick: *quick, Seed: *seed, Duration: *duration, MetricsDir: *metricsOut,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
 }
 
 // explain replays one hypothetical packet against the policy file on a

@@ -32,6 +32,7 @@ var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/nic.MatchPath", Sentinels: []string{"NumMatchPaths"}},
 	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
 	{TypePath: "barbican/internal/obs/profile.Phase", Sentinels: []string{"NumPhases"}},
+	{TypePath: "barbican/internal/telemetry.AlertState", Sentinels: []string{"NumAlertStates"}},
 }
 
 // Exhaustive returns the analyzer that enforces full constant coverage

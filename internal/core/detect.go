@@ -1,0 +1,426 @@
+package core
+
+import (
+	"time"
+
+	"barbican/internal/faults"
+	"barbican/internal/fw"
+	"barbican/internal/measure"
+	"barbican/internal/nic"
+	"barbican/internal/obs"
+	"barbican/internal/policy"
+	"barbican/internal/telemetry"
+)
+
+// BenignBurstPort carries the false-positive experiment's bursty but
+// legitimate traffic (UDP discard). The detection scenarios bind it on
+// the target so bursts are a real admitted workload, not an ICMP
+// error storm.
+const BenignBurstPort = 9
+
+// DetectionScenario measures whether — and how fast — the fleet
+// *knows* it is under attack. The target runs a telemetry agent
+// reporting card health to a collector on the policy server over the
+// same management network the policy pushes use; the collector's
+// flood-onset detector raises an alert, optionally triggering a
+// responsive blocklist push. The measurements are time-to-detect
+// (flood start → Alerting) and window-of-exposure (flood packets the
+// target admitted before detection / before the mitigation converged).
+type DetectionScenario struct {
+	// Device is the target's firewall card.
+	Device Device
+	// Depth installs the paper's standard rule-set shape on the target
+	// (0 leaves it unprotected, like the chaos scenarios).
+	Depth int
+	// FloodAllowed selects the standard rule set's action rule when
+	// Depth > 0: true admits the flood (exposure is then non-zero and
+	// detection must come from overload drops and backlog), false
+	// denies it at the card (detection from the deny counters).
+	FloodAllowed bool
+	// FloodRatePPS, when positive, floods the target from FloodStart
+	// until the measurement window closes.
+	FloodRatePPS float64
+	// FloodStart is when the flood begins (virtual time); zero means
+	// 1 s — late enough for the detector to learn a quiet baseline.
+	FloodStart time.Duration
+	// Duration is the measurement window; zero means 5 s.
+	Duration time.Duration
+	// Iperf, when true, runs the chaos-style TCP bandwidth measurement
+	// through the window. Off by default: at depth 64 the iperf stream
+	// alone overloads the filtering cards (the paper's fig2 cliff), and
+	// the detector — correctly — alerts on it before the flood even
+	// starts, which makes a poor detection-latency baseline. Quiet
+	// scenarios measure the detector; iperf scenarios measure how it
+	// behaves under production load.
+	Iperf bool
+	// Seed seeds the simulation; zero means 1. FaultSeed seeds the
+	// fault injectors; zero means Seed.
+	Seed      int64
+	FaultSeed int64
+	// MgmtFaults is applied to both directions of the policy server's
+	// access link — telemetry reports and policy pushes share it, so a
+	// lossy plan delays detection AND mitigation.
+	MgmtFaults faults.Plan
+	// ReportEvery is the telemetry cadence; zero means
+	// telemetry.DefaultReportInterval.
+	ReportEvery time.Duration
+	// Detector tunes the collector's flood-onset detector.
+	Detector telemetry.DetectorConfig
+	// SilenceAfter arms the collector's staleness watchdog; zero means
+	// 3.5 report intervals (a mute device is a hot signal — the EFW
+	// lockup silences its own telemetry), negative disables it.
+	SilenceAfter time.Duration
+	// Respond, when true, pushes ChaosPolicy to the target the moment
+	// its detector alerts, closing the detect→mitigate loop.
+	Respond bool
+	// Push tunes the responsive push's retry engine.
+	Push policy.PushOptions
+	// BenignBurstPPS, when positive, drives on/off UDP bursts from the
+	// client to the target's discard port — legitimate traffic the
+	// detector must not page on. BenignBurstOn/Off set the duty cycle
+	// (zero means 500 ms each).
+	BenignBurstPPS float64
+	BenignBurstOn  time.Duration
+	BenignBurstOff time.Duration
+	// Metrics, when non-nil, receives the scenario's full metric set
+	// (collector, agents, target card, policy plane) in deterministic
+	// registration order.
+	Metrics *obs.Registry
+}
+
+// DetectionPoint is the outcome of a detection scenario.
+type DetectionPoint struct {
+	Scenario DetectionScenario
+
+	// Detected reports whether the target's detector reached Alerting;
+	// AlertAt is when (virtual time), TimeToDetect measured from
+	// FloodStart.
+	Detected     bool
+	AlertAt      time.Duration
+	TimeToDetect time.Duration
+
+	// Converged reports the responsive push landing (Respond only);
+	// ResponseTime is FloodStart → ConvergedAt.
+	Converged    bool
+	ConvergedAt  time.Duration
+	ResponseTime time.Duration
+	PushError    string
+
+	// The window of exposure: flood datagrams the target's stack
+	// delivered before the alert, before the mitigation converged, and
+	// over the whole run.
+	ExposedAtDetect   uint64
+	ExposedAtConverge uint64
+	ExposedTotal      uint64
+
+	// FalseAlerts counts Alerting entries that are not the flood
+	// detection itself — client-side alerts, and target alerts before
+	// the flood began (or with no flood configured at all).
+	FalseAlerts int
+	// Timeline is the target detector's full transition record;
+	// FinalState its state at scenario end. ClientTimeline is the
+	// client device's record (any Alerting entry there is a false
+	// positive by construction).
+	Timeline       []telemetry.Transition
+	ClientTimeline []telemetry.Transition
+	FinalState     telemetry.AlertState
+
+	// Telemetry-plane accounting: collector totals, the target
+	// device's sequence gaps (reports the management network lost),
+	// and what the agents handed to their stacks.
+	Reports        uint64
+	Corrupt        uint64
+	Gaps           uint64
+	AgentReports   uint64
+	AgentSendFails uint64
+
+	// Fleet is the collector's health model at scenario end, one row
+	// per tracked device in tracking order.
+	Fleet []DeviceSummary
+
+	Iperf        measure.IperfResult
+	FloodSent    uint64
+	TargetLocked bool
+	TargetNIC    nic.Stats
+	SimSeconds   float64
+	WallBusy     time.Duration
+}
+
+// DeviceSummary is one row of the collector's fleet-health model.
+type DeviceSummary struct {
+	Device   string
+	State    telemetry.AlertState
+	Reports  uint64
+	Gaps     uint64
+	Alerts   int
+	LastSeen time.Duration
+}
+
+// Mbps returns the measured available bandwidth.
+func (p DetectionPoint) Mbps() float64 { return p.Iperf.Mbps }
+
+// RunDetection executes a detection scenario: quiet baseline until
+// FloodStart, flood through the rest of the iperf window, telemetry
+// flowing throughout, alert (and optionally a responsive push) when the
+// collector's detector fires, then the kernel runs on until the push
+// settles.
+func RunDetection(s DetectionScenario) (DetectionPoint, error) {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = s.Seed
+	}
+	if s.FloodStart == 0 {
+		s.FloodStart = time.Second
+	}
+	if s.Duration == 0 {
+		s.Duration = 5 * time.Second
+	}
+	if s.ReportEvery == 0 {
+		s.ReportEvery = telemetry.DefaultReportInterval
+	}
+	if s.SilenceAfter == 0 {
+		s.SilenceAfter = 7 * s.ReportEvery / 2
+	} else if s.SilenceAfter < 0 {
+		s.SilenceAfter = 0
+	}
+	if s.BenignBurstOn == 0 {
+		s.BenignBurstOn = 500 * time.Millisecond
+	}
+	if s.BenignBurstOff == 0 {
+		s.BenignBurstOff = 500 * time.Millisecond
+	}
+
+	tb, err := NewTestbed(TestbedOptions{TargetDevice: s.Device, Seed: s.Seed})
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	if s.Depth > 0 {
+		rules, err := standardRuleSet(s.Depth, s.FloodAllowed, 0)
+		if err != nil {
+			return DetectionPoint{}, err
+		}
+		tb.InstallPolicy(tb.Target, rules)
+	}
+
+	psk := policy.DeriveKey("detect")
+	srv := policy.NewServer(tb.PolicyServer, psk)
+	polAgent, err := policy.NewAgent(tb.Target, tb.PolicyServer.IP(), psk)
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	faults.Attach(tb.PolicyServer.NIC().Endpoint(), s.MgmtFaults, s.FaultSeed)
+
+	p := DetectionPoint{Scenario: s}
+
+	// Exposure is counted at the flood sink: datagrams that cleared the
+	// card AND the stack are the packets an attacker actually landed.
+	sink, err := tb.Target.BindUDP(FloodPort)
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	var exposureBase uint64
+	exposed := func() uint64 {
+		n, _ := sink.Received()
+		return n - exposureBase
+	}
+	tb.Kernel.After(s.FloodStart, func() {
+		exposureBase, _ = sink.Received()
+	})
+
+	settled := s.Respond // nothing to settle unless a push happens
+	var pushErr error
+	collector, err := telemetry.NewCollector(tb.PolicyServer, telemetry.CollectorConfig{
+		Detector:     s.Detector,
+		SilenceAfter: s.SilenceAfter,
+		OnAlert: func(device string, at time.Duration) {
+			// Only an alert at or after flood start is the detection;
+			// earlier ones (for example iperf startup overloading a deep
+			// linear-walk card) land in FalseAlerts instead.
+			if device != "target" || p.Detected || s.FloodRatePPS <= 0 || at < s.FloodStart {
+				return
+			}
+			p.Detected = true
+			p.AlertAt = at
+			p.TimeToDetect = at - s.FloodStart
+			p.ExposedAtDetect = exposed()
+			if !s.Respond {
+				return
+			}
+			settled = false
+			if _, err := srv.SetPolicy("target", ChaosPolicy); err != nil {
+				settled, pushErr = true, err
+				return
+			}
+			err := srv.PushWith("target", tb.Target.IP(), s.Push, func(err error) {
+				settled, pushErr = true, err
+			})
+			if err != nil {
+				settled, pushErr = true, err
+			}
+		},
+	})
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	collector.Track("target")
+	collector.Track("client")
+
+	polAgent.OnInstall = func(version uint32, rs *fw.RuleSet) {
+		if !p.Converged {
+			p.Converged = true
+			p.ConvergedAt = tb.Kernel.Now()
+			p.ResponseTime = p.ConvergedAt - s.FloodStart
+			p.ExposedAtConverge = exposed()
+		}
+	}
+
+	targetAgent, err := telemetry.NewAgent(tb.Target, telemetry.AgentConfig{
+		Device:       "target",
+		Collector:    tb.PolicyServer.IP(),
+		Interval:     s.ReportEvery,
+		RulesVersion: polAgent.InstalledVersion,
+	})
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	clientAgent, err := telemetry.NewAgent(tb.Client, telemetry.AgentConfig{
+		Device:    "client",
+		Collector: tb.PolicyServer.IP(),
+		Interval:  s.ReportEvery,
+	})
+	if err != nil {
+		return DetectionPoint{}, err
+	}
+	targetAgent.Start()
+	clientAgent.Start()
+
+	if s.Metrics != nil {
+		collector.PublishMetrics(s.Metrics)
+		targetAgent.PublishMetrics(s.Metrics)
+		clientAgent.PublishMetrics(s.Metrics)
+		tb.Target.NIC().PublishMetrics(s.Metrics, obs.L("host", "target"))
+		polAgent.PublishMetrics(s.Metrics, obs.L("host", "target"))
+		srv.PublishMetrics(s.Metrics)
+	}
+
+	var flood *measure.Flooder
+	if s.FloodRatePPS > 0 {
+		flood = measure.NewFlooder(tb.Attacker, tb.Target.IP(), measure.FloodConfig{
+			RatePPS: s.FloodRatePPS,
+			DstPort: FloodPort,
+		})
+		tb.Kernel.After(s.FloodStart, flood.Start)
+	}
+
+	var burst *measure.Flooder
+	if s.BenignBurstPPS > 0 {
+		if _, err := tb.Target.BindUDP(BenignBurstPort); err != nil {
+			return DetectionPoint{}, err
+		}
+		burst = measure.NewFlooder(tb.Client, tb.Target.IP(), measure.FloodConfig{
+			RatePPS: s.BenignBurstPPS,
+			DstPort: BenignBurstPort,
+		})
+		var on, off func()
+		on = func() {
+			burst.Start()
+			tb.Kernel.After(s.BenignBurstOn, off)
+		}
+		off = func() {
+			burst.Stop()
+			tb.Kernel.After(s.BenignBurstOff, on)
+		}
+		on()
+	}
+
+	if s.Iperf {
+		res, err := measure.RunTCPIperf(tb.Kernel, tb.Client, tb.Target, measure.IperfConfig{Duration: s.Duration})
+		if err != nil {
+			return DetectionPoint{}, err
+		}
+		p.Iperf = res
+	} else if err := tb.Kernel.RunFor(s.Duration); err != nil {
+		return DetectionPoint{}, err
+	}
+	if flood != nil {
+		flood.Stop()
+		p.FloodSent = flood.Sent()
+	}
+	if burst != nil {
+		burst.Stop()
+	}
+	// Let a late responsive push settle so the point reports its true
+	// terminal outcome even when the window ends mid-backoff. Telemetry
+	// keeps flowing through the settle — stopping the agents here would
+	// make the watchdog (correctly) alert on the manufactured silence,
+	// and the post-mitigation timeline should show the detector walking
+	// back to healthy.
+	if !settled {
+		if err := tb.Kernel.RunFor(15 * time.Second); err != nil {
+			return DetectionPoint{}, err
+		}
+	} else if flood != nil {
+		// The push finished inside the window: still drain briefly so
+		// the detector observes post-flood calm and the terminal fleet
+		// state reflects recovery, not a mid-flood snapshot.
+		if err := tb.Kernel.RunFor(2 * time.Second); err != nil {
+			return DetectionPoint{}, err
+		}
+	}
+	if pushErr != nil {
+		p.PushError = pushErr.Error()
+	}
+
+	p.ExposedTotal = exposed()
+	if !p.Detected {
+		p.ExposedAtDetect = p.ExposedTotal
+	}
+	if s.Respond && !p.Converged {
+		p.ExposedAtConverge = p.ExposedTotal
+	}
+
+	if h := collector.Health("target"); h != nil {
+		p.Timeline = h.Detector.Transitions()
+		p.FinalState = h.Detector.State()
+		p.Gaps = h.Gaps
+		for _, tr := range p.Timeline {
+			if tr.To == telemetry.AlertAlerting && (s.FloodRatePPS <= 0 || tr.At < s.FloodStart) {
+				p.FalseAlerts++
+			}
+		}
+	}
+	if h := collector.Health("client"); h != nil {
+		p.ClientTimeline = h.Detector.Transitions()
+		p.FalseAlerts += h.Detector.Alerts()
+	}
+	p.Reports, p.Corrupt, _ = collector.Totals()
+	for _, name := range collector.Devices() {
+		h := collector.Health(name)
+		p.Fleet = append(p.Fleet, DeviceSummary{
+			Device:  name,
+			State:   h.Detector.State(),
+			Reports: h.Reports,
+			Gaps:    h.Gaps,
+			Alerts:  h.Detector.Alerts(),
+			LastSeen: func() time.Duration {
+				if h.Reports == 0 {
+					return -1
+				}
+				return h.LastAt
+			}(),
+		})
+	}
+	for _, a := range []*telemetry.Agent{targetAgent, clientAgent} {
+		sent, failed := a.Sent()
+		p.AgentReports += sent
+		p.AgentSendFails += failed
+	}
+
+	p.TargetLocked = tb.Target.NIC().Locked()
+	p.TargetNIC = tb.Target.NIC().Stats()
+	p.SimSeconds = tb.Kernel.Now().Seconds()
+	p.WallBusy = tb.Kernel.WallBusy()
+	return p, nil
+}

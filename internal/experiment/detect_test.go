@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// renderDetectArtifacts runs the detection family and renders every
+// artifact form — the byte stream the determinism golden compares
+// across worker counts. FleetHealth is included because its rendered
+// timeline exposes every transition timestamp, the most
+// divergence-sensitive output the plane produces.
+func renderDetectArtifacts(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	fig, err := DetectionLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := DetectionChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := FleetHealth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(fig.Render())
+	out.WriteString(fig.Markdown())
+	if err := fig.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(tab.Render())
+	out.WriteString(tab.Markdown())
+	if err := tab.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(health)
+	return out.Bytes()
+}
+
+// TestDetectionDeterminism: detection artifacts — time-to-detect,
+// exposure windows, alert timelines — are byte-identical serially and
+// at -parallel 8 for a fixed seed pair. Alert timestamps come from
+// per-point private kernels in virtual time, so worker count must not
+// leak into any rendered byte.
+func TestDetectionDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detection regeneration; skipped in -short")
+	}
+	base := Config{Quick: true, Seed: 7, FaultSeed: 42}
+
+	serialCfg := base
+	serialCfg.Parallel = 1
+	serial := renderDetectArtifacts(t, serialCfg)
+
+	parallelCfg := base
+	parallelCfg.Parallel = 8
+	parallel := renderDetectArtifacts(t, parallelCfg)
+
+	if !bytes.Equal(serial, parallel) {
+		i := 0
+		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+			i++
+		}
+		lo, hiS, hiP := max(0, i-80), min(len(serial), i+80), min(len(parallel), i+80)
+		t.Fatalf("serial and parallel detection artifacts diverge at byte %d:\nserial:   …%q…\nparallel: …%q…",
+			i, serial[lo:hiS], parallel[lo:hiP])
+	}
+}
+
+// TestDetectionChaosTable checks the family's headline result at the
+// experiment level: management-plane loss measurably widens both
+// time-to-detect and the window of exposure versus the clean channel.
+func TestDetectionChaosTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detection regeneration; skipped in -short")
+	}
+	tab, err := DetectionChaos(Config{Quick: true, Seed: 7, FaultSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := make(map[string][]string)
+	for _, row := range tab.Rows {
+		byLabel[row[0]] = row
+	}
+	clean, lossy := byLabel["clean mgmt"], byLabel["mgmt loss 60%"]
+	if clean == nil || lossy == nil {
+		t.Fatalf("missing clean/loss rows in %v", tab.Rows)
+	}
+	num := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("row %v col %d: %v", row, col, err)
+		}
+		return v
+	}
+	if num(lossy, 1) <= num(clean, 1) {
+		t.Errorf("time-to-detect under 60%% loss (%s ms) not wider than clean (%s ms)",
+			lossy[1], clean[1])
+	}
+	if num(lossy, 2) <= num(clean, 2) {
+		t.Errorf("exposure at detect under 60%% loss (%s) not wider than clean (%s)",
+			lossy[2], clean[2])
+	}
+	if num(lossy, 6) == 0 {
+		t.Errorf("60%% loss produced no telemetry sequence gaps: %v", lossy)
+	}
+}

@@ -175,6 +175,14 @@ func (n *NIC) Profile() Profile { return n.profile }
 // Stats returns a snapshot of the card's counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
+// Backlog returns the embedded processor's queued work, expressed as
+// the time it will take to drain at current capacity. The card enters
+// degraded mode when this crosses cpuExhaustedBacklog.
+func (n *NIC) Backlog() time.Duration { return n.proc.Backlog() }
+
+// QueueDepth returns the processor's descriptor-ring occupancy.
+func (n *NIC) QueueDepth() int { return n.proc.Queued() }
+
 // SetTracer attaches (or with nil detaches) a packet-lifecycle
 // tracer. The card samples egress packets (Send/SendRawFrame) and
 // records spans for frames whose TraceID is already set.

@@ -81,6 +81,20 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		func() float64 { return float64(n.stats.DegradedPass) })
 	gauge("nic_degraded_state", "Policy-plane state (0 healthy, 1 updating, 2 degraded, 3 wedged).",
 		func() float64 { return float64(n.DegradedState()) })
+	// The same state as a labeled one-hot family, so dashboards can
+	// plot/alert per state by name instead of decoding the enum value.
+	for s := StateHealthy; s < NumDegradedStates; s++ {
+		s := s
+		reg.MustRegisterFunc("nic_degraded_mode", "Whether the card is in this policy-plane state (one-hot by state label).",
+			obs.KindGauge,
+			func() float64 {
+				if n.DegradedState() == s {
+					return 1
+				}
+				return 0
+			},
+			append([]obs.Label{obs.L("state", s.String())}, labels...)...)
+	}
 
 	if n.fcache != nil {
 		counter("nic_flow_cache_hits_total", "Packets whose verdict was replayed from the per-flow cache.",
@@ -106,6 +120,8 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		func() float64 { return float64(n.proc.Queued()) })
 	gauge("nic_proc_backlog_seconds", "Queued work on the embedded processor, in time.",
 		func() float64 { return n.proc.Backlog().Seconds() })
+	gauge("nic_backlog_units", "Queued work on the embedded processor, in cost units (backlog time × capacity).",
+		func() float64 { return n.proc.Backlog().Seconds() * n.proc.Capacity() })
 	gauge("nic_proc_capacity_units", "Processor capacity in cost units/s (0 = wire speed).",
 		n.proc.Capacity)
 	counter("nic_proc_admitted_total", "Work items accepted by the processor.",

@@ -20,7 +20,10 @@
 # or allocs/op above the baseline at all (the zero-alloc fast paths
 # admit no tolerance; BenchmarkRxPath/uninstrumented in particular
 # must stay at 0 allocs/op with profiling off — the profiled variant's
-# overhead is measured separately as BenchmarkRxPath/profiled).
+# overhead is measured separately as BenchmarkRxPath/profiled — and
+# BenchmarkRxPathTelemetry holds the ingress path at 0 allocs/op with
+# a telemetry agent attached, as does the agent's own
+# BenchmarkTelemetrySnapshotEncode build path).
 # Benchmarks present on only one side are reported but never fail the
 # gate, so adding or renaming a benchmark doesn't break CI.
 #
@@ -47,7 +50,7 @@ out="${1:-BENCH_baseline.json}"
 if [ -n "$baseline" ] && [ "$#" -eq 0 ]; then
   out="$(mktemp --suffix .json)"
 fi
-pkgs="./internal/nic ./internal/fw ./internal/sim ./internal/packet ./internal/measure"
+pkgs="./internal/nic ./internal/fw ./internal/sim ./internal/packet ./internal/measure ./internal/telemetry"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
