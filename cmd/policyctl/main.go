@@ -5,6 +5,13 @@
 //	policyctl check <file>            validate a policy file and print its canonical form
 //	policyctl lint <file> [flags]     cross-rule analysis: conflicts, redundancy,
 //	                                  unreachable rules, and depth cost warnings
+//	                                  (-exact proves findings over the whole packet space)
+//	policyctl verify <file> [flags]   exhaustively prove the compiled classifier equals
+//	                                  the linear walk for the policy (or -generate corpus)
+//	policyctl verify <a> <b>          prove two policies verdict-identical over the
+//	                                  entire packet space, or print witness packets
+//	policyctl diff <a> <b> [flags]    exact semantic diff: per-class changed-packet
+//	                                  counts and witness packets for each changed region
 //	policyctl oracle                  print the built-in Oracle-server example policy
 //	policyctl demo <file>             push the policy to a simulated EFW fleet and report
 //	policyctl explain <file> [flags]  replay one packet against the policy and predict
@@ -17,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"time"
@@ -24,6 +32,7 @@ import (
 	"barbican/internal/core"
 	"barbican/internal/experiment"
 	"barbican/internal/fw"
+	"barbican/internal/fw/sem"
 	"barbican/internal/nic"
 	"barbican/internal/packet"
 	"barbican/internal/policy"
@@ -40,7 +49,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("policyctl", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | analyze <file> | oracle | demo <file> | explain <file> [flags] | health [flags]")
+		fmt.Fprintln(fs.Output(), "usage: policyctl check <file> | lint <file> [flags] | verify <file> [<file>] [flags] | diff <a> <b> [flags] | analyze <file> | oracle | demo <file> | explain <file> [flags] | health [flags]")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +65,10 @@ func run(args []string) error {
 			flags = fs.Args()[2:]
 		}
 		return lint(fs.Arg(1), flags)
+	case "verify":
+		return verify(fs.Args()[1:])
+	case "diff":
+		return diffCmd(fs.Args()[1:])
 	case "oracle":
 		fmt.Print(policy.OraclePolicy)
 		return nil
@@ -123,11 +136,16 @@ type lintFinding struct {
 // findings translate rule position into the card's sustainable packet
 // rate via the Fig. 2 cost model. Exit status is 1 when any
 // error-severity finding (conflict, shadowed, unreachable) is present.
+// With -exact, findings come from the sem engine's proven region
+// analysis instead of the box-subtraction heuristic: cross-class
+// coverage is detected, phantom conflicts disappear, and every
+// covering list names the rules that actually take the packets.
 func lint(path string, args []string) error {
 	fs := flag.NewFlagSet("policyctl lint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	device := fs.String("device", "efw", "card profile for depth predictions: standard|efw|adf|nextgen")
 	depthWarn := fs.Int("depth-warn", 16, "note reachable rules deeper than this position (0 disables)")
+	exact := fs.Bool("exact", false, "prove findings with the exact semantics engine instead of the heuristic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,7 +162,12 @@ func lint(path string, args []string) error {
 		return err
 	}
 
-	findings := rs.Lint(fw.LintOptions{DepthWarn: *depthWarn})
+	var findings []fw.Finding
+	if *exact {
+		findings = sem.ExactLint(rs, fw.LintOptions{DepthWarn: *depthWarn})
+	} else {
+		findings = rs.Lint(fw.LintOptions{DepthWarn: *depthWarn})
+	}
 	nextgen := nic.NextGen()
 	out := make([]lintFinding, 0, len(findings))
 	errors := 0
@@ -199,6 +222,204 @@ func lint(path string, args []string) error {
 		return fmt.Errorf("%d error-severity finding(s)", errors)
 	}
 	return nil
+}
+
+// verify runs exhaustive proofs. With one policy it proves the
+// compiled classifier byte-identical to the linear walk over every
+// atomic region of the packet space — the full-coverage upgrade of the
+// sampled differential test. With two policies it proves them
+// verdict-identical (semantic convergence), or prints witness packets
+// for the difference. With -generate it verifies a seeded random
+// corpus instead of a file. Exit status is 1 when any proof fails.
+func verify(args []string) error {
+	fs := flag.NewFlagSet("policyctl verify", flag.ContinueOnError)
+	generate := fs.Int("generate", 0, "verify this many generated rule sets instead of a file")
+	seed := fs.Int64("seed", 1, "corpus seed for -generate")
+	genRules := fs.Int("rules", 24, "rules per generated set for -generate")
+	maxRegions := fs.Uint64("max-regions", 0, "region budget per proof (0 = engine default)")
+	strict := fs.Bool("strict", false, "two-policy mode: require identical deciding rules, not just identical actions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *generate > 0 {
+		r := rand.New(rand.NewSource(*seed))
+		var regions uint64
+		for i := 0; i < *generate; i++ {
+			rs := sem.Generate(r, sem.GenOptions{Rules: *genRules})
+			res, err := sem.VerifyCompiled(rs, sem.VerifyOptions{MaxRegions: *maxRegions})
+			if err != nil {
+				return fmt.Errorf("corpus seed %d set %d: %w", *seed, i, err)
+			}
+			if !res.OK() {
+				fmt.Printf("FAIL corpus seed %d set %d (%d rules):\n", *seed, i, rs.Len())
+				printVerifyFailure(res, rs)
+				return fmt.Errorf("compiled classifier diverges from the linear walk")
+			}
+			regions += res.Regions
+		}
+		fmt.Printf("ok: %d generated rule sets (seed %d, %d rules each), %d regions proven\n",
+			*generate, *seed, *genRules, regions)
+		return nil
+	}
+
+	switch fs.NArg() {
+	case 1:
+		rs, err := loadPolicy(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		res, err := sem.VerifyCompiled(rs, sem.VerifyOptions{MaxRegions: *maxRegions})
+		if err != nil {
+			return err
+		}
+		if !res.OK() {
+			printVerifyFailure(res, rs)
+			return fmt.Errorf("compiled classifier diverges from the linear walk")
+		}
+		fmt.Printf("ok: compiled classifier == linear walk over all %d atomic regions (%d rules)\n",
+			res.Regions, res.Rules)
+		return nil
+	case 2:
+		a, err := loadPolicy(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := loadPolicy(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		res, err := sem.Diff(a, b, sem.DiffOptions{StrictIndex: *strict, MaxRegions: *maxRegions})
+		if err != nil {
+			return err
+		}
+		if !res.Equivalent {
+			fmt.Printf("NOT equivalent: %v packets change action, %v change deciding rule (%d regions)\n",
+				res.ChangedPackets, res.RedecidedPackets, res.ChangedRegions)
+			for _, w := range res.Witnesses {
+				fmt.Printf("  %v\n", w)
+			}
+			return fmt.Errorf("policies are not semantically equivalent")
+		}
+		fmt.Printf("ok: policies are verdict-identical over the entire packet space")
+		if !*strict && res.RedecidedPackets.Sign() != 0 {
+			fmt.Printf(" (%v packets decided by a different rule; -strict rejects this)", res.RedecidedPackets)
+		}
+		fmt.Println()
+		return nil
+	default:
+		return fmt.Errorf("verify needs one policy, two policies, or -generate N")
+	}
+}
+
+func printVerifyFailure(res *sem.VerifyResult, rs *fw.RuleSet) {
+	if res.Mismatch != nil {
+		fmt.Printf("  %v\n", res.Mismatch)
+	}
+	if res.ParityError != "" {
+		fmt.Printf("  counter parity: %s\n", res.ParityError)
+	}
+	fmt.Printf("policy under test:\n%v", rs)
+}
+
+// diffCmd prints the exact semantic diff between two policies: how
+// many packets change verdict, in which direction, and one witness
+// packet per changed traffic class. The witness line replays verbatim
+// through `policyctl explain`.
+func diffCmd(args []string) error {
+	fs := flag.NewFlagSet("policyctl diff", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON")
+	witnesses := fs.Int("witnesses", 8, "maximum witness packets to print")
+	maxRegions := fs.Uint64("max-regions", 0, "region budget (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two policy files")
+	}
+	a, err := loadPolicy(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadPolicy(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	res, err := sem.Diff(a, b, sem.DiffOptions{MaxWitnesses: *witnesses, MaxRegions: *maxRegions})
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		type jsonWitness struct {
+			Class   string `json:"class"`
+			From    string `json:"from"`
+			To      string `json:"to"`
+			Region  string `json:"region"`
+			Packet  string `json:"packet"`
+			Dir     string `json:"dir"`
+			Proto   int    `json:"proto"`
+			Src     string `json:"src"`
+			Dst     string `json:"dst"`
+			SrcPort int    `json:"srcPort"`
+			DstPort int    `json:"dstPort"`
+			Sealed  bool   `json:"sealed"`
+		}
+		doc := struct {
+			Equivalent     bool          `json:"equivalent"`
+			ChangedPackets string        `json:"changedPackets"`
+			Redecided      string        `json:"redecidedPackets"`
+			Total          string        `json:"totalPackets"`
+			AllowToDeny    string        `json:"allowToDeny"`
+			DenyToAllow    string        `json:"denyToAllow"`
+			ChangedRegions uint64        `json:"changedRegions"`
+			Witnesses      []jsonWitness `json:"witnesses"`
+		}{
+			Equivalent:     res.Equivalent,
+			ChangedPackets: res.ChangedPackets.String(),
+			Redecided:      res.RedecidedPackets.String(),
+			Total:          res.TotalPackets.String(),
+			AllowToDeny:    res.ByClass[sem.RegionAllowToDeny].String(),
+			DenyToAllow:    res.ByClass[sem.RegionDenyToAllow].String(),
+			ChangedRegions: res.ChangedRegions,
+			Witnesses:      make([]jsonWitness, 0, len(res.Witnesses)),
+		}
+		for _, w := range res.Witnesses {
+			doc.Witnesses = append(doc.Witnesses, jsonWitness{
+				Class: w.Class.String(), From: w.From.String(), To: w.To.String(),
+				Region: w.Region.String(), Packet: fmt.Sprint(w.Packet), Dir: w.Dir.String(),
+				Proto: int(w.Packet.Proto), Src: w.Packet.Src.String(), Dst: w.Packet.Dst.String(),
+				SrcPort: int(w.Packet.SrcPort), DstPort: int(w.Packet.DstPort), Sealed: w.Packet.Sealed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	if res.Equivalent && res.RedecidedPackets.Sign() == 0 {
+		fmt.Println("policies are semantically identical (every packet: same action, same deciding rule)")
+		return nil
+	}
+	fmt.Printf("changed packets: %v of %v\n", res.ChangedPackets, res.TotalPackets)
+	fmt.Printf("  allow -> deny: %v\n", res.ByClass[sem.RegionAllowToDeny])
+	fmt.Printf("  deny -> allow: %v\n", res.ByClass[sem.RegionDenyToAllow])
+	fmt.Printf("  redecided (same action, different rule): %v\n", res.RedecidedPackets)
+	fmt.Printf("changed regions: %d\n", res.ChangedRegions)
+	for _, w := range res.Witnesses {
+		fmt.Printf("  %v\n", w)
+	}
+	return nil
+}
+
+// loadPolicy reads and parses one policy argument ("-" is the
+// built-in Oracle example).
+func loadPolicy(path string) (*fw.RuleSet, error) {
+	text, err := readPolicy(path)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Parse(text)
 }
 
 func readPolicy(path string) (string, error) {

@@ -33,6 +33,7 @@ var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
 	{TypePath: "barbican/internal/obs/profile.Phase", Sentinels: []string{"NumPhases"}},
 	{TypePath: "barbican/internal/telemetry.AlertState", Sentinels: []string{"NumAlertStates"}},
+	{TypePath: "barbican/internal/fw/sem.RegionClass", Sentinels: []string{"NumRegionClasses"}},
 }
 
 // Exhaustive returns the analyzer that enforces full constant coverage

@@ -1,0 +1,23 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSetterbypassFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "setterbypass")
+	spec := SetterSpec{TypePath: "setterbypass.NIC", Field: "rules", Setter: "setRules"}
+	RunFixture(t, dir, "setterbypass", Setterbypass([]SetterSpec{spec}))
+}
+
+// TestBarbicanSetterConfig pins the production contract: the NIC's
+// active rule set is guarded by setRules.
+func TestBarbicanSetterConfig(t *testing.T) {
+	for _, spec := range BarbicanSetters {
+		if spec.TypePath == "barbican/internal/nic.NIC" && spec.Field == "rules" && spec.Setter == "setRules" {
+			return
+		}
+	}
+	t.Error("BarbicanSetters is missing the nic.NIC rules/setRules contract")
+}

@@ -10,5 +10,6 @@ func Suite() []*Analyzer {
 		Seededrand(),
 		Maporder(),
 		Exhaustive(BarbicanEnums),
+		Setterbypass(BarbicanSetters),
 	}
 }

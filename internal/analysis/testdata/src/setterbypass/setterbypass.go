@@ -1,0 +1,86 @@
+// Package setterbypass is the fixture for the setter-contract check.
+// The test enforces the spec setterbypass.NIC, field rules, setter
+// setRules — mirroring the production contract on the real NIC.
+package setterbypass
+
+// RuleSet stands in for the policy a card enforces.
+type RuleSet struct{ n int }
+
+// NIC mimics the card: the active rule set and the caches the setter
+// keeps consistent with it.
+type NIC struct {
+	rules    *RuleSet
+	compiled *RuleSet
+	dirty    bool
+}
+
+// setRules is the sanctioned write path.
+func (n *NIC) setRules(rs *RuleSet) {
+	n.rules = rs // the setter's own assignment is the contract, not a finding
+	n.compiled = rs
+	deferred := func() {
+		n.rules = rs // still inside the setter, still sanctioned
+	}
+	deferred()
+}
+
+// install funnels through the setter: no findings.
+func (n *NIC) install(rs *RuleSet) {
+	n.setRules(rs)
+	n.dirty = false // unguarded sibling fields assign freely
+}
+
+// restore is the bypass the production bug looked like: a watchdog
+// path assigning the field directly, skipping cache invalidation.
+func (n *NIC) restore(committed *RuleSet) {
+	n.rules = committed // want `direct write to NIC.rules bypasses setRules`
+}
+
+// clear bypasses through a tuple assignment.
+func (n *NIC) clear() {
+	n.rules, n.dirty = nil, false // want `direct write to NIC.rules bypasses setRules`
+}
+
+// fromOutside writes the field from a plain function.
+func fromOutside(n *NIC) {
+	n.rules = &RuleSet{} // want `direct write to NIC.rules bypasses setRules`
+}
+
+// setRules the free function is NOT the method: same name, no receiver.
+func setRules(n *NIC, rs *RuleSet) {
+	n.rules = rs // want `direct write to NIC.rules bypasses setRules`
+}
+
+// card embeds NIC; a write through the promoted field is the same
+// field object and still a bypass.
+type card struct {
+	NIC
+	slot int
+}
+
+func (c *card) swap(rs *RuleSet) {
+	c.rules = rs // want `direct write to NIC.rules bypasses setRules`
+}
+
+// otherNIC has its own rules field; it is not under contract.
+type otherNIC struct {
+	rules *RuleSet
+}
+
+func (o *otherNIC) set(rs *RuleSet) {
+	o.rules = rs // a different type's field: no finding
+}
+
+// allowedBypass documents a deliberate exception with the directive.
+func allowedBypass(n *NIC) {
+	//barbican:allow setterbypass -- fixture demonstrates the escape hatch
+	n.rules = nil
+}
+
+// reads of the guarded field are always fine.
+func reads(n *NIC) *RuleSet {
+	if n.rules != nil {
+		return n.rules
+	}
+	return n.compiled
+}

@@ -5,6 +5,7 @@ import (
 
 	"barbican/internal/faults"
 	"barbican/internal/fw"
+	"barbican/internal/fw/sem"
 	"barbican/internal/measure"
 	"barbican/internal/nic"
 	"barbican/internal/policy"
@@ -42,6 +43,14 @@ type ChaosScenario struct {
 	// defaults; MaxAttempts: 1 reproduces the pre-retry single-shot
 	// behavior, which never converges through a partition.
 	Push policy.PushOptions
+	// VerifySemantics runs the exact semantics engine when the agent
+	// installs the pushed policy: the installed rule set is proven
+	// verdict-identical to what the server pushed over the entire
+	// packet space, and the card's compiled classifier is proven equal
+	// to the linear walk on it — semantic convergence, not just
+	// version-number convergence. The proof outcome lands in
+	// ChaosPoint.SemanticsVerified / SemanticsError.
+	VerifySemantics bool
 }
 
 // ChaosPoint is the outcome of a chaos scenario.
@@ -60,6 +69,12 @@ type ChaosPoint struct {
 	Agent     policy.AgentStats
 	Iperf     measure.IperfResult
 	FloodSent uint64
+	// SemanticsVerified reports whether the install-time equivalence
+	// proof succeeded (only set when Scenario.VerifySemantics and the
+	// agent converged); SemanticsError carries the disproof or proof
+	// failure ("" otherwise).
+	SemanticsVerified bool
+	SemanticsError    string
 	// TargetLocked reports the EFW Deny-All lockup.
 	TargetLocked bool
 	TargetNIC    nic.Stats
@@ -106,6 +121,9 @@ func RunChaos(s ChaosScenario) (ChaosPoint, error) {
 			p.Converged = true
 			p.ConvergedAt = tb.Kernel.Now()
 			p.ConvergeTime = p.ConvergedAt - s.PushAt
+			if s.VerifySemantics {
+				p.SemanticsVerified, p.SemanticsError = verifyInstall(ChaosPolicy, rs)
+			}
 		}
 	}
 
@@ -159,4 +177,37 @@ func RunChaos(s ChaosScenario) (ChaosPoint, error) {
 	p.SimSeconds = tb.Kernel.Now().Seconds()
 	p.WallBusy = tb.Kernel.WallBusy()
 	return p, nil
+}
+
+// verifyInstall proves semantic convergence for one installed rule
+// set: the installed rules must be verdict-identical to the pushed
+// policy text over the entire packet space, and the compiled
+// classifier the card runs must equal the linear walk on them.
+func verifyInstall(pushed string, installed *fw.RuleSet) (ok bool, detail string) {
+	want, err := policy.Parse(pushed)
+	if err != nil {
+		return false, "parse pushed policy: " + err.Error()
+	}
+	res, err := sem.Diff(want, installed, sem.DiffOptions{})
+	if err != nil {
+		return false, "equivalence proof: " + err.Error()
+	}
+	if !res.Equivalent {
+		detail = "installed policy is not equivalent to the pushed policy"
+		if len(res.Witnesses) > 0 {
+			detail += ": " + res.Witnesses[0].String()
+		}
+		return false, detail
+	}
+	vres, err := sem.VerifyCompiled(installed, sem.VerifyOptions{})
+	if err != nil {
+		return false, "compiled-vs-walk proof: " + err.Error()
+	}
+	if !vres.OK() {
+		if vres.Mismatch != nil {
+			return false, "compiled classifier diverges: " + vres.Mismatch.String()
+		}
+		return false, "compiled classifier counter parity: " + vres.ParityError
+	}
+	return true, ""
 }

@@ -1,0 +1,63 @@
+package sem
+
+import (
+	"fmt"
+	"testing"
+
+	"barbican/internal/fw"
+)
+
+// BenchmarkSemEquiv tracks the cost of an exhaustive equivalence proof
+// over the paper's experimental rule-set shape (depth-1 pad rules plus
+// the action rule) at the Fig. 2 sweep's low and high depths. Exact
+// verification runs at policy-push time when enabled, so its cost is a
+// hot path like any other and regresses through the bench gate.
+func BenchmarkSemEquiv(b *testing.B) {
+	for _, depth := range []int{64, 512} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			mk := func() *fw.RuleSet {
+				rs, err := fw.DepthRuleSet(depth, fw.AllowAllRule(), fw.Deny)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return rs
+			}
+			v1, v2 := mk(), mk()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Diff(v1, v2, DiffOptions{StrictIndex: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Equivalent {
+					b.Fatal("identical depth sets reported inequivalent")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSemVerifyCompiled tracks the exhaustive compiled-vs-walk
+// proof at the same depths.
+func BenchmarkSemVerifyCompiled(b *testing.B) {
+	for _, depth := range []int{64, 512} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			rs, err := fw.DepthRuleSet(depth, fw.AllowAllRule(), fw.Deny)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := VerifyCompiled(rs, VerifyOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("proof failed: %+v", res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package sem
+
+import (
+	"math/bits"
+
+	"barbican/internal/fw"
+)
+
+// ExactLint is the proven replacement for RuleSet.Lint's heuristic
+// findings: it decides reachability, shadowing, redundancy, and
+// conflicts by walking the exact region decomposition instead of box
+// subtraction, and emits fw.Finding values in Lint's shape and order
+// (per rule ascending; unreachable-class finding, or conflicts by
+// earlier-rule position then the depth note) so severities and
+// rendering carry over unchanged.
+//
+// Where Lint approximates, ExactLint proves:
+//
+//   - Reachability is decided over every atomic region, so coverage
+//     through a *different* traffic class (a plain allow-out rule
+//     swallowing the cleartext packets a VPG rule would seal, which
+//     Lint's same-class guard skips) is detected.
+//   - The covering list is the set of rules that actually take the
+//     unreachable rule's packets (its "winners"), not the subtraction
+//     order of a worklist; there is no give-up cap.
+//   - A conflict is reported only when the earlier opposite-action
+//     rule genuinely decides part of this rule's match space. An
+//     overlap whose every packet is taken by an even earlier rule is
+//     phantom order-dependence, and Lint reports it; ExactLint does
+//     not. The exception pattern (a later general rule containing an
+//     earlier specific one) stays excluded, as in Lint.
+func ExactLint(rs *fw.RuleSet, opts fw.LintOptions) []fw.Finding {
+	sp := newSpace(rs)
+	t := sp.sets[0]
+	w := &lintWalker{sp: sp, t: t, memo: make(map[string][]uint64)}
+
+	reached := make([]uint64, t.words)
+	for _, c := range classes {
+		r := w.reach(axesFor(c), 0, t.startMask(c))
+		for wd := range reached {
+			reached[wd] |= r[wd]
+		}
+	}
+
+	var findings []fw.Finding
+	for i := 1; i <= t.n; i++ {
+		ri := &t.rules[i-1]
+		winners := bitsOf(w.winners(i))
+		if !hasBit(reached, i) {
+			findings = append(findings, classifyUnreachable(t, i, winners))
+			continue
+		}
+		for _, j := range winners {
+			rj := &t.rules[j-1]
+			if rj.Action == ri.Action || coversExact(ri, rj) {
+				continue
+			}
+			findings = append(findings, fw.Finding{Kind: fw.FindingConflict, Rule: i, By: j})
+		}
+		if opts.DepthWarn > 0 && i > opts.DepthWarn {
+			findings = append(findings, fw.Finding{Kind: fw.FindingDepth, Rule: i, Depth: i})
+		}
+	}
+	return findings
+}
+
+// classifyUnreachable maps an unreachable rule and its winners to
+// Lint's finding vocabulary: one decisive winner gives the pairwise
+// shadowed/redundant form; several winners give the union form,
+// redundant when removal is provably semantics-free (every winner
+// applies the same action) and unreachable otherwise.
+func classifyUnreachable(t *setTables, i int, winners []int) fw.Finding {
+	ri := &t.rules[i-1]
+	if len(winners) == 1 {
+		kind := fw.FindingRedundant
+		if t.rules[winners[0]-1].Action != ri.Action {
+			kind = fw.FindingShadowed
+		}
+		return fw.Finding{Kind: kind, Rule: i, By: winners[0]}
+	}
+	kind := fw.FindingRedundant
+	for _, j := range winners {
+		if t.rules[j-1].Action != ri.Action {
+			kind = fw.FindingUnreachable
+			break
+		}
+	}
+	return fw.Finding{Kind: kind, Rule: i, Covering: winners}
+}
+
+type lintWalker struct {
+	sp   *space
+	t    *setTables
+	memo map[string][]uint64 // subtree → reached first-match bitset
+}
+
+// reach returns the bitset of rules that are the first match of at
+// least one region in the subtree. Memoized: identical (remaining
+// axes, live mask) subtrees reach identical rule sets.
+func (w *lintWalker) reach(axes []int, level int, mask []uint64) []uint64 {
+	if maskEmpty(mask) {
+		return make([]uint64, w.t.words)
+	}
+	key := nodeKey(len(axes), level, mask)
+	if r, ok := w.memo[key]; ok {
+		return r
+	}
+	out := make([]uint64, w.t.words)
+	if level == len(axes) {
+		f := firstBit(mask) // >= 1: mask is non-empty
+		out[(f-1)/64] |= 1 << (uint(f-1) % 64)
+		w.memo[key] = out
+		return out
+	}
+	axis := axes[level]
+	seen := make(map[string]struct{})
+	child := make([]uint64, w.t.words)
+	var ckey []byte
+	for k := 0; k < len(w.sp.bounds[axis]); k++ {
+		andMasks(child, mask, w.t.segMask(axis, k))
+		ckey = appendMaskKey(ckey[:0], child)
+		if _, ok := seen[string(ckey)]; ok {
+			continue
+		}
+		seen[string(ckey)] = struct{}{}
+		cc := make([]uint64, w.t.words)
+		copy(cc, child)
+		r := w.reach(axes, level+1, cc)
+		for wd := range out {
+			out[wd] |= r[wd]
+		}
+	}
+	w.memo[key] = out
+	return out
+}
+
+// winners returns the bitset of rules that decide at least one region
+// in which rule i (1-based) also matches: the rules that take i's
+// packets. For an unreachable i this is its exact covering set; for a
+// reachable i it contains i itself plus every rule that beats it
+// somewhere.
+func (w *lintWalker) winners(i int) []uint64 {
+	out := make([]uint64, w.t.words)
+	visited := make(map[string]struct{})
+	for _, c := range classes {
+		m := w.t.startMask(c)
+		if !hasBit(m, i) {
+			continue
+		}
+		w.winRecurse(axesFor(c), 0, m, i, out, visited)
+	}
+	// Drop i itself: callers want the rules competing with i.
+	out[(i-1)/64] &^= 1 << (uint(i-1) % 64)
+	return out
+}
+
+func (w *lintWalker) winRecurse(axes []int, level int, mask []uint64, i int, out []uint64, visited map[string]struct{}) {
+	key := nodeKey(len(axes), level, mask)
+	if _, ok := visited[key]; ok {
+		return
+	}
+	visited[key] = struct{}{}
+	if level == len(axes) {
+		f := firstBit(mask) // >= 1: bit i is set
+		out[(f-1)/64] |= 1 << (uint(f-1) % 64)
+		return
+	}
+	axis := axes[level]
+	child := make([]uint64, w.t.words)
+	for k := 0; k < len(w.sp.bounds[axis]); k++ {
+		andMasks(child, mask, w.t.segMask(axis, k))
+		if !hasBit(child, i) {
+			continue // rule i dead below: region is outside i's space
+		}
+		cc := make([]uint64, w.t.words)
+		copy(cc, child)
+		w.winRecurse(axes, level+1, cc, i, out, visited)
+	}
+}
+
+// nodeKey builds a memo key from the remaining-axis identity and the
+// live mask.
+func nodeKey(axesLen, level int, mask []uint64) string {
+	key := make([]byte, 0, 2+8*len(mask))
+	key = append(key, byte(axesLen), byte(level))
+	key = appendMaskKey(key, mask)
+	return string(key)
+}
+
+// bitsOf expands a bitset into ascending 1-based indices.
+func bitsOf(m []uint64) []int {
+	var out []int
+	for w, x := range m {
+		for x != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(x)+1)
+			x &= x - 1
+		}
+	}
+	return out
+}
+
+// coversExact reports whether rule a matches every packet rule b
+// matches, decided class by class over the modeled space (so a plain
+// allow-out rule can cover a VPG rule's outbound cleartext, which the
+// heuristic covers() conservatively never admits).
+func coversExact(a, b *fw.Rule) bool {
+	for _, c := range classes {
+		if !b.AppliesTo(c.Dir, c.Sealed) || (!c.HasPorts && !b.MatchesPortless()) {
+			continue
+		}
+		if !a.AppliesTo(c.Dir, c.Sealed) || (!c.HasPorts && !a.MatchesPortless()) {
+			return false
+		}
+		for _, axis := range axesFor(c) {
+			sa, sb := ruleSpan(a, axis), ruleSpan(b, axis)
+			if sa.Lo > sb.Lo || sa.Hi < sb.Hi {
+				return false
+			}
+		}
+	}
+	return true
+}

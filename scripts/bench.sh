@@ -50,7 +50,7 @@ out="${1:-BENCH_baseline.json}"
 if [ -n "$baseline" ] && [ "$#" -eq 0 ]; then
   out="$(mktemp --suffix .json)"
 fi
-pkgs="./internal/nic ./internal/fw ./internal/sim ./internal/packet ./internal/measure ./internal/telemetry"
+pkgs="./internal/nic ./internal/fw ./internal/fw/sem ./internal/sim ./internal/packet ./internal/measure ./internal/telemetry"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
