@@ -20,9 +20,10 @@ import (
 // setting elsewhere.
 func runExplain(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("barbican explain", flag.ContinueOnError)
-	device := fs.String("device", "efw", "card profile: standard|efw|adf|nextgen")
+	device := fs.String("device", "efw", "card profile: standard|efw|adf|nextgen|stateful")
 	depth := fs.Int("depth", 64, "synthetic rule-set depth (paper shape: depth-1 non-matching rules above the action rule); 0 = no policy")
 	deny := fs.Bool("deny", false, "synthetic action rule denies the flood signature (default: allows everything)")
+	stateful := fs.Bool("stateful", false, "use the stateful synthetic rule set (new-to-service + established/related) instead of the stateless one")
 	policyFile := fs.String("policy", "", "explain against this policy file ('-' = built-in example) instead of the synthetic rule set")
 	proto := fs.String("proto", "tcp", "packet protocol: tcp|udp|icmp")
 	src := fs.String("src", core.ClientIP.String(), "source IP")
@@ -32,6 +33,8 @@ func runExplain(w io.Writer, args []string) error {
 	size := fs.Int("size", 40, "IP datagram length in bytes")
 	dir := fs.String("dir", "in", "direction through the card: in|out")
 	sealed := fs.Bool("sealed", false, "packet arrives in a VPG envelope")
+	tcpFlags := fs.String("flags", "", "tcp control bits, comma-separated: syn|ack|fin|rst|psh|none (default syn)")
+	prior := fs.String("prior", "none", "assumed prior conntrack history of the flow: none|new|established")
 	// Accepted for interface uniformity with the experiment runner;
 	// explain is a pure single-packet replay, so worker count cannot
 	// change its output.
@@ -71,21 +74,32 @@ func runExplain(w io.Writer, args []string) error {
 		if rs, err = policy.Parse(text); err != nil {
 			return err
 		}
+	case *depth > 0 && *stateful:
+		if rs, err = core.StatefulRuleSet(*depth); err != nil {
+			return err
+		}
 	case *depth > 0:
 		if rs, err = core.StandardRuleSet(*depth, !*deny); err != nil {
 			return err
 		}
 	}
 
+	switch *prior {
+	case "none", "new", "established":
+	default:
+		return fmt.Errorf("unknown prior %q (none|new|established)", *prior)
+	}
+
 	spec := nic.PacketSpec{
 		Proto: *proto, Src: *src, Dst: *dst,
 		SrcPort: *sport, DstPort: *dport,
 		Size: *size, Dir: *dir, Sealed: *sealed,
+		Flags: *tcpFlags,
 	}
 	summary, fdir, err := spec.Summary()
 	if err != nil {
 		return err
 	}
-	_, err = io.WriteString(w, nic.Explain(profile, rs, summary, fdir).Render())
+	_, err = io.WriteString(w, nic.ExplainConn(profile, rs, summary, fdir, *prior).Render())
 	return err
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|detect|fleet-health|all
+//	barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|detect|stateflood|fleet-health|all
 //	barbican explain [flags]
 //	barbican profile [flags] FILE [FILE]
 //
@@ -44,6 +44,13 @@
 // and management-channel faults. fleet-health runs the canonical
 // detection scenario and renders the collector's fleet table plus the
 // alert timeline.
+//
+// The stateflood family attacks the stateful card's conntrack table:
+// SYN floods from spoofed sources exhaust table entries at rates far
+// below packet-rate DoS, eviction policies are compared under flood,
+// ACK floods probe the INVALID-drop path, and the recovery table shows
+// what each state-recovery policy does to live connections after a
+// fail-open degraded episode.
 //
 // The explain subcommand replays one hypothetical packet against a
 // rule set and prints the matched rule, depth walked, and predicted
@@ -94,7 +101,7 @@ func run(args []string) error {
 	faultSpec := fs.String("faults", "", `custom management-channel fault plan for the chaos experiments, e.g. "loss=0.2,down=1s-2.5s" (replaces the default condition sweep)`)
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injector seed (0 = derive from the simulation seed)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|detect|fleet-health|report|all")
+		fmt.Fprintln(fs.Output(), "usage: barbican [flags] fig2|fig3a|fig3b|fig2ng|fig3ng|table1|ablations|timeline|ext1|ext2|ext3|rfc2544|latency|chaos|detect|stateflood|fleet-health|report|all")
 		fmt.Fprintln(fs.Output(), "       barbican explain [flags]  (replay one packet against a rule set)")
 		fmt.Fprintln(fs.Output(), "       barbican profile [flags] FILE [FILE]  (summarize or diff profiles)")
 		fs.PrintDefaults()
@@ -147,6 +154,7 @@ func run(args []string) error {
 		{name: "latency", fn: renderTable("latency", experiment.AppendixLatency)},
 		{name: "chaos", fn: renderChaos},
 		{name: "detect", fn: renderDetect},
+		{name: "stateflood", fn: renderStateflood},
 		{name: "fleet-health", fn: experiment.FleetHealth},
 		{name: "report", fn: experiment.Report},
 	}
@@ -236,6 +244,28 @@ func renderDetect(cfg experiment.Config) (string, error) {
 		{"detect-exposure", experiment.DetectionExposure},
 		{"detect-chaos", experiment.DetectionChaos},
 		{"detect-false-positives", experiment.DetectionFalsePositives},
+	} {
+		tab, err := renderTable(t.name, t.fn)(cfg)
+		if err != nil {
+			return "", err
+		}
+		out += "\n" + tab
+	}
+	return out, nil
+}
+
+func renderStateflood(cfg experiment.Config) (string, error) {
+	out, err := renderFigure("stateflood-curves", experiment.StatefloodCurves)(cfg)
+	if err != nil {
+		return "", err
+	}
+	for _, t := range []struct {
+		name string
+		fn   func(experiment.Config) (*experiment.Table, error)
+	}{
+		{"stateflood-thresholds", experiment.StatefloodThresholds},
+		{"stateflood-ack", experiment.StatefloodACK},
+		{"stateflood-recovery", experiment.StatefloodRecovery},
 	} {
 		tab, err := renderTable(t.name, t.fn)(cfg)
 		if err != nil {

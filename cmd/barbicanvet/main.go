@@ -7,8 +7,8 @@
 //	walltime   - no host-clock reads in deterministic packages
 //	seededrand - no global math/rand functions outside tests
 //	maporder   - no map-iteration order escaping into output
-//	exhaustive - DropReason / FindingKind / nic FailMode + DegradedState / sem RegionClass switches and tables cover every constant
-//	setterbypass - nic.NIC's rules field is written only through setRules (flow-cache invalidation contract)
+//	exhaustive - DropReason / FindingKind / fw ConnState / nic FailMode + DegradedState + StateRecovery / conntrack TCPState + EvictPolicy + CommitStatus / sem RegionClass switches and tables cover every constant
+//	setterbypass - nic.NIC's rules and ct fields are written only through setRules / setConntrack (flow-cache invalidation contract)
 //	noalloc    - //barbican:noalloc functions stay free of heap escapes
 //
 // Usage:

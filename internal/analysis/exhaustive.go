@@ -21,16 +21,24 @@ type EnumSpec struct {
 
 // BarbicanEnums is the repository's enforced taxonomy set: the drop
 // reasons behind the nic_drops_total aggregates and Fig. 3 flood
-// accounting, the firewall linter's finding kinds, and the NIC's
-// degraded-mode fail policy and state machine. A constant added to any
-// of these enums without updating every switch and export table fails
-// the lint gate instead of silently vanishing from artifacts.
+// accounting, the firewall linter's finding kinds, the NIC's
+// degraded-mode fail policy and state machine, and the conntrack
+// taxonomies (TCP states, eviction policies, commit outcomes, the
+// firewall's connection states, and the degraded-recovery policy for
+// orphaned state). A constant added to any of these enums without
+// updating every switch and export table fails the lint gate instead
+// of silently vanishing from artifacts.
 var BarbicanEnums = []EnumSpec{
 	{TypePath: "barbican/internal/obs/tracing.DropReason", Sentinels: []string{"NumDropReasons"}},
 	{TypePath: "barbican/internal/fw.FindingKind", Sentinels: nil},
+	{TypePath: "barbican/internal/fw.ConnState", Sentinels: []string{"NumConnStates"}},
 	{TypePath: "barbican/internal/nic.FailMode", Sentinels: []string{"NumFailModes"}},
 	{TypePath: "barbican/internal/nic.MatchPath", Sentinels: []string{"NumMatchPaths"}},
 	{TypePath: "barbican/internal/nic.DegradedState", Sentinels: []string{"NumDegradedStates"}},
+	{TypePath: "barbican/internal/nic.StateRecovery", Sentinels: []string{"NumStateRecoveries"}},
+	{TypePath: "barbican/internal/nic/conntrack.TCPState", Sentinels: []string{"NumTCPStates"}},
+	{TypePath: "barbican/internal/nic/conntrack.EvictPolicy", Sentinels: []string{"NumEvictPolicies"}},
+	{TypePath: "barbican/internal/nic/conntrack.CommitStatus", Sentinels: []string{"NumCommitStatuses"}},
 	{TypePath: "barbican/internal/obs/profile.Phase", Sentinels: []string{"NumPhases"}},
 	{TypePath: "barbican/internal/telemetry.AlertState", Sentinels: []string{"NumAlertStates"}},
 	{TypePath: "barbican/internal/fw/sem.RegionClass", Sentinels: []string{"NumRegionClasses"}},

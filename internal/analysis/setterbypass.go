@@ -18,17 +18,25 @@ type SetterSpec struct {
 	Field string
 	// Setter is the only method allowed to assign the field.
 	Setter string
+	// Reason, when set, names the invariant the setter maintains; it
+	// is folded into the finding message so a bypass report explains
+	// what the direct write would break.
+	Reason string
 }
 
-// BarbicanSetters is the repository's enforced setter contracts. The
-// NIC's active rule set may change only through setRules: the setter
-// keeps the compiled matcher in sync with the rules and invalidates
-// the per-flow verdict cache, so a direct n.rules assignment would
-// leave the card serving cached verdicts produced under a previous
-// policy — exactly the stale-verdict bug the flow cache's
-// invalidation contract exists to prevent.
+// BarbicanSetters is the repository's enforced setter contracts, all
+// guarding the same invariant from different angles: the per-flow
+// verdict cache must never outlive the state that produced its
+// verdicts. The NIC's active rule set may change only through
+// setRules (which also rebuilds the compiled matcher), and its
+// conntrack table only through setConntrack — cached verdicts are
+// keyed by the conn-state classification the old table produced, so
+// swapping the table without flushing the cache serves stale state.
 var BarbicanSetters = []SetterSpec{
-	{TypePath: "barbican/internal/nic.NIC", Field: "rules", Setter: "setRules"},
+	{TypePath: "barbican/internal/nic.NIC", Field: "rules", Setter: "setRules",
+		Reason: "keeps the compiled matcher in sync and invalidates the flow cache"},
+	{TypePath: "barbican/internal/nic.NIC", Field: "ct", Setter: "setConntrack",
+		Reason: "invalidates the flow cache, whose verdicts are keyed by the old table's conn-state classification"},
 }
 
 // Setterbypass returns the analyzer that enforces setter contracts:
@@ -80,9 +88,13 @@ func checkSetterSpec(pass *Pass, spec SetterSpec) {
 				if !ok || insideAny(pos, setters) {
 					continue
 				}
+				why := spec.Reason
+				if why == "" {
+					why = "maintains an invariant the direct write skips"
+				}
 				pass.Reportf(pos,
-					"direct write to %s.%s bypasses %s, which keeps the compiled matcher in sync and invalidates the flow cache; call the setter or //barbican:allow setterbypass with a reason",
-					named.Obj().Name(), spec.Field, spec.Setter)
+					"direct write to %s.%s bypasses %s, which %s; call the setter or //barbican:allow setterbypass with a reason",
+					named.Obj().Name(), spec.Field, spec.Setter, why)
 			}
 			return true
 		})

@@ -7,17 +7,29 @@ import (
 
 func TestSetterbypassFixture(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "setterbypass")
-	spec := SetterSpec{TypePath: "setterbypass.NIC", Field: "rules", Setter: "setRules"}
+	spec := SetterSpec{TypePath: "setterbypass.NIC", Field: "rules", Setter: "setRules",
+		Reason: "keeps the caches in sync"}
 	RunFixture(t, dir, "setterbypass", Setterbypass([]SetterSpec{spec}))
 }
 
-// TestBarbicanSetterConfig pins the production contract: the NIC's
-// active rule set is guarded by setRules.
+// TestBarbicanSetterConfig pins the production contracts: the NIC's
+// active rule set is guarded by setRules and its conntrack table by
+// setConntrack — both funnels exist to invalidate the flow cache.
 func TestBarbicanSetterConfig(t *testing.T) {
-	for _, spec := range BarbicanSetters {
-		if spec.TypePath == "barbican/internal/nic.NIC" && spec.Field == "rules" && spec.Setter == "setRules" {
-			return
+	want := []SetterSpec{
+		{TypePath: "barbican/internal/nic.NIC", Field: "rules", Setter: "setRules"},
+		{TypePath: "barbican/internal/nic.NIC", Field: "ct", Setter: "setConntrack"},
+	}
+	for _, w := range want {
+		found := false
+		for _, spec := range BarbicanSetters {
+			if spec.TypePath == w.TypePath && spec.Field == w.Field && spec.Setter == w.Setter {
+				found = spec.Reason != ""
+			}
+		}
+		if !found {
+			t.Errorf("BarbicanSetters is missing the %s %s/%s contract (with a reason)",
+				w.TypePath, w.Field, w.Setter)
 		}
 	}
-	t.Error("BarbicanSetters is missing the nic.NIC rules/setRules contract")
 }

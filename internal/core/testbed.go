@@ -13,6 +13,7 @@ import (
 	"barbican/internal/hostfw"
 	"barbican/internal/link"
 	"barbican/internal/nic"
+	"barbican/internal/nic/conntrack"
 	"barbican/internal/packet"
 	"barbican/internal/sim"
 	"barbican/internal/stack"
@@ -38,6 +39,10 @@ const (
 	// DeviceNextGen is the hypothetical flood-tolerant card of the
 	// paper's conclusion (extension experiment EXT1).
 	DeviceNextGen
+	// DeviceStateful is the NextGen card with connection tracking: the
+	// compiled/cached fast path plus a hard-bounded conntrack table in
+	// card SRAM (extension experiment EXT4, the stateflood family).
+	DeviceStateful
 )
 
 // String names the device as in the paper's figures.
@@ -55,6 +60,8 @@ func (d Device) String() string {
 		return "iptables"
 	case DeviceNextGen:
 		return "NextGenFW"
+	case DeviceStateful:
+		return "StatefulFW"
 	default:
 		return fmt.Sprintf("device(%d)", int(d))
 	}
@@ -90,6 +97,10 @@ type TestbedOptions struct {
 	// default static table. Experiments default to static resolution so
 	// measurements exclude neighbor-discovery warmup.
 	UseARP bool
+	// ConntrackEvict overrides the eviction policy of any conntrack-
+	// equipped card built by this testbed (zero keeps the profile's
+	// default). The stateflood experiments sweep this.
+	ConntrackEvict conntrack.EvictPolicy
 }
 
 // Testbed is the paper's experimental network: four hosts on one
@@ -108,6 +119,7 @@ type Testbed struct {
 	nextMAC byte
 	eager   bool
 	useARP  bool
+	ctEvict conntrack.EvictPolicy
 }
 
 // NewTestbed builds the four-host testbed.
@@ -129,6 +141,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 		devices: make(map[*stack.Host]Device),
 		eager:   opts.EagerVPGDecrypt,
 		useARP:  opts.UseARP,
+		ctEvict: opts.ConntrackEvict,
 	}
 	var err error
 	if tb.PolicyServer, err = tb.AddHost("policy-server", PolicyServerIP, DeviceStandard, !opts.SuppressFloodResponses); err != nil {
@@ -168,11 +181,16 @@ func (tb *Testbed) AddHost(name string, ip packet.IP, device Device, respond boo
 		profile.EagerVPGDecrypt = tb.eager
 	case DeviceNextGen:
 		profile = nic.NextGen()
+	case DeviceStateful:
+		profile = nic.Stateful()
 	default:
 		return nil, fmt.Errorf("core: unknown device %v", device)
 	}
 	if device == DeviceIPTables {
 		fwall = hostfw.New(tb.Kernel, hostfw.IPTables())
+	}
+	if profile.ConntrackEntries > 0 && tb.ctEvict != 0 {
+		profile.ConntrackEvict = tb.ctEvict
 	}
 
 	card := nic.New(tb.Kernel, mac, profile, tb.Switch.NewPort())

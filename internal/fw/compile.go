@@ -54,6 +54,10 @@ type CompiledSet struct {
 	// portless is the mask of rules that match packets without
 	// transport ports (both port ranges Any; includes all VPG rules).
 	portless []uint64
+	// stateMasks[cs] is the mask of rules matchable under conntrack
+	// classification cs: stateless rules appear in every state's mask,
+	// stateful rules only where their StateMask has the bit.
+	stateMasks [NumConnStates][]uint64
 
 	src, dst         segTable
 	srcPort, dstPort segTable
@@ -141,6 +145,9 @@ func Compile(rs *RuleSet) *CompiledSet {
 	}
 	c.protoAny = make([]uint64, words)
 	c.portless = make([]uint64, words)
+	for cs := StateNone; cs < NumConnStates; cs++ {
+		c.stateMasks[cs] = make([]uint64, words)
+	}
 
 	dirs := [2]Direction{In, Out}
 	protoSet := make(map[packet.Protocol]bool)
@@ -174,6 +181,11 @@ func Compile(rs *RuleSet) *CompiledSet {
 		}
 		if r.SrcPorts.Any() && r.DstPorts.Any() {
 			c.portless[w] |= bit
+		}
+		for cs := StateNone; cs < NumConnStates; cs++ {
+			if r.States == 0 || r.States.Has(cs) {
+				c.stateMasks[cs][w] |= bit
+			}
 		}
 		srcIv[i] = prefixInterval(r.Src)
 		dstIv[i] = prefixInterval(r.Dst)
@@ -228,16 +240,29 @@ func (c *CompiledSet) protoMask(p packet.Protocol) []uint64 {
 //
 //barbican:noalloc
 func (c *CompiledSet) Eval(s packet.Summary, dir Direction) Verdict {
+	return c.EvalState(s, dir, StateNone)
+}
+
+// EvalState is Eval with a conntrack classification: the verdict the
+// linear RuleSet.EvalState would return for the same packet, direction,
+// and state, with identical counter updates.
+//
+//barbican:noalloc
+func (c *CompiledSet) EvalState(s packet.Summary, dir Direction, cs ConnState) Verdict {
 	if dir != In && dir != Out {
 		// The compiled class masks are built for concrete travel
 		// directions; anything else takes the reference walk.
-		return c.rs.Eval(s, dir)
+		return c.rs.EvalState(s, dir, cs)
+	}
+	if cs < StateNone || cs >= NumConnStates {
+		return c.rs.EvalState(s, dir, cs)
 	}
 	sealed := 0
 	if s.Sealed {
 		sealed = 1
 	}
 	cls := c.class[dir-In][sealed]
+	stm := c.stateMasks[cs]
 	pm := c.protoMask(s.Proto)
 	sm := c.src.lookup(s.Src.Uint32())
 	dm := c.dst.lookup(s.Dst.Uint32())
@@ -250,7 +275,7 @@ func (c *CompiledSet) Eval(s packet.Summary, dir Direction) Verdict {
 	}
 	c.rs.evals++
 	for w := 0; w < c.words; w++ {
-		x := cls[w] & pm[w] & sm[w] & dm[w] & spm[w] & dpm[w]
+		x := cls[w] & stm[w] & pm[w] & sm[w] & dm[w] & spm[w] & dpm[w]
 		if x == 0 {
 			continue
 		}

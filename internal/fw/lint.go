@@ -138,8 +138,14 @@ func (rs *RuleSet) Lint(opts LintOptions) []Finding {
 
 // sameClass reports whether two rules compete for the same traffic
 // class. VPG rules match sealed envelopes, plain rules cleartext; cross
-// pairs are skipped conservatively.
-func sameClass(a, b *Rule) bool { return a.IsVPG() == b.IsVPG() }
+// pairs are skipped conservatively. Connection-state masks are not an
+// interval dimension (a mask can be non-contiguous), so rules with
+// different masks are likewise treated as separate classes and skipped
+// conservatively rather than risking findings proven through state
+// space no packet occupies.
+func sameClass(a, b *Rule) bool {
+	return a.IsVPG() == b.IsVPG() && a.States == b.States
+}
 
 // matchBox is a rule's match space as a product of inclusive integer
 // intervals. Dimension order: direction, protocol, source address,

@@ -120,14 +120,34 @@ type Rule struct {
 	// matches sealed traffic inbound and seals matching cleartext
 	// traffic outbound; its Action must be Allow.
 	VPG string
+	// States restricts the rule to packets whose conntrack
+	// classification is in the mask (0 = stateless rule, matches under
+	// any state). A rule with a non-zero mask never matches on a
+	// stateless evaluation (StateNone).
+	States StateMask
 }
+
+// IsStateful reports whether the rule carries state matchers.
+func (r *Rule) IsStateful() bool { return r.States != 0 }
 
 // IsVPG reports whether the rule is a VPG rule.
 func (r *Rule) IsVPG() bool { return r.VPG != "" }
 
 // Matches reports whether the rule applies to a packet summary traveling
-// in direction dir.
+// in direction dir on a stateless evaluation. Rules with state matchers
+// never match here; use MatchesState when conntrack has classified the
+// packet.
 func (r *Rule) Matches(s packet.Summary, dir Direction) bool {
+	return r.MatchesState(s, dir, StateNone)
+}
+
+// MatchesState reports whether the rule applies to a packet summary
+// traveling in direction dir whose conntrack classification is cs.
+// Stateless rules (empty mask) match under any classification.
+func (r *Rule) MatchesState(s packet.Summary, dir Direction, cs ConnState) bool {
+	if r.States != 0 && !r.States.Has(cs) {
+		return false
+	}
 	if r.Direction != Both && r.Direction != dir {
 		return false
 	}
@@ -193,6 +213,17 @@ func (r *Rule) Validate() error {
 		if !r.SrcPorts.Any() || !r.DstPorts.Any() {
 			return fmt.Errorf("fw: rule %q: VPG rules cannot match ports", r.Name)
 		}
+		if r.IsStateful() {
+			// Sealed envelopes hide the transport header, so the card
+			// cannot track connection state for them.
+			return fmt.Errorf("fw: rule %q: VPG rules cannot match connection state", r.Name)
+		}
+	}
+	if r.States.Has(StateNone) {
+		return fmt.Errorf("fw: rule %q: state \"none\" is not matchable", r.Name)
+	}
+	if r.States >= 1<<uint(NumConnStates) {
+		return fmt.Errorf("fw: rule %q: unknown state bits in mask %#x", r.Name, uint8(r.States))
 	}
 	return nil
 }
@@ -215,6 +246,9 @@ func (r *Rule) String() string {
 	fmt.Fprintf(&b, " to %v", prefixOrAny(r.Dst))
 	if !r.DstPorts.Any() {
 		fmt.Fprintf(&b, " port %v", r.DstPorts)
+	}
+	if r.IsStateful() {
+		fmt.Fprintf(&b, " state %v", r.States)
 	}
 	if r.Name != "" {
 		fmt.Fprintf(&b, " # %s", r.Name)

@@ -25,12 +25,13 @@ type Verdict struct {
 
 // RuleSet is an ordered, first-match packet filter policy.
 type RuleSet struct {
-	rules   []Rule
-	view    []Rule // copy handed out by Rules, built in NewRuleSet so concurrent readers never race
-	def     Action
-	matches []uint64 // per-rule match counts
-	defHits uint64
-	evals   uint64
+	rules    []Rule
+	view     []Rule // copy handed out by Rules, built in NewRuleSet so concurrent readers never race
+	def      Action
+	stateful bool     // any rule carries state matchers; computed once in NewRuleSet
+	matches  []uint64 // per-rule match counts
+	defHits  uint64
+	evals    uint64
 }
 
 // NewRuleSet validates rules and builds a rule-set with the given default
@@ -49,6 +50,12 @@ func NewRuleSet(def Action, rules ...Rule) (*RuleSet, error) {
 		view:    append([]Rule(nil), rules...),
 		def:     def,
 		matches: make([]uint64, len(rules)),
+	}
+	for i := range rs.rules {
+		if rs.rules[i].IsStateful() {
+			rs.stateful = true
+			break
+		}
 	}
 	return rs, nil
 }
@@ -90,12 +97,24 @@ func (rs *RuleSet) Each(fn func(i int, r *Rule) bool) {
 	}
 }
 
-// Eval evaluates a packet summary traveling in direction dir and returns
-// the verdict of the first matching rule (or the default action).
+// Stateful reports whether any rule carries state matchers: the signal
+// that evaluation needs a conntrack classification to be meaningful.
+func (rs *RuleSet) Stateful() bool { return rs.stateful }
+
+// Eval evaluates a packet summary traveling in direction dir on the
+// stateless path and returns the verdict of the first matching rule (or
+// the default action). Rules with state matchers never fire here.
 func (rs *RuleSet) Eval(s packet.Summary, dir Direction) Verdict {
+	return rs.EvalState(s, dir, StateNone)
+}
+
+// EvalState evaluates a packet summary traveling in direction dir whose
+// conntrack classification is cs, returning the verdict of the first
+// matching rule (or the default action).
+func (rs *RuleSet) EvalState(s packet.Summary, dir Direction, cs ConnState) Verdict {
 	rs.evals++
 	for i := range rs.rules {
-		if rs.rules[i].Matches(s, dir) {
+		if rs.rules[i].MatchesState(s, dir, cs) {
 			rs.matches[i]++
 			return Verdict{
 				Action:    rs.rules[i].Action,

@@ -187,6 +187,13 @@ type diffWalker struct {
 // concrete witnesses. It is the policy-push question "what does this
 // update actually do on the wire?" answered by proof.
 func Diff(a, b *fw.RuleSet, opts DiffOptions) (*DiffResult, error) {
+	if a.Stateful() || b.Stateful() {
+		// Connection state is a conntrack attribute, not a packet
+		// coordinate: the region decomposition cannot represent it, so
+		// an answer here would silently treat stateful rules as
+		// always-matchable. Refuse rather than prove the wrong claim.
+		return nil, fmt.Errorf("sem: stateful rule sets are outside the packet-space model (state matchers present)")
+	}
 	if opts.MaxRegions == 0 {
 		opts.MaxRegions = defaultDiffRegions
 	}

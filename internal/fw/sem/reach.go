@@ -30,6 +30,13 @@ import (
 //     not. The exception pattern (a later general rule containing an
 //     earlier specific one) stays excluded, as in Lint.
 func ExactLint(rs *fw.RuleSet, opts fw.LintOptions) []fw.Finding {
+	if rs.Stateful() {
+		// Connection state is not a packet coordinate, so the exact
+		// decomposition cannot see it; fall back to the heuristic
+		// linter, whose same-class guard skips cross-state pairs
+		// conservatively.
+		return rs.Lint(opts)
+	}
 	sp := newSpace(rs)
 	t := sp.sets[0]
 	w := &lintWalker{sp: sp, t: t, memo: make(map[string][]uint64)}

@@ -65,6 +65,12 @@ func (r *VerifyResult) OK() bool { return r.Mismatch == nil && r.ParityError == 
 // The proof upgrades the sampled differential test of the compiled
 // matcher to full coverage per rule set.
 func VerifyCompiled(rs *fw.RuleSet, opts VerifyOptions) (*VerifyResult, error) {
+	if rs.Stateful() {
+		// See Diff: connection state is not a packet coordinate. The
+		// stateful compiled≡walk property is covered by the seeded
+		// differential test in fw instead.
+		return nil, fmt.Errorf("sem: stateful rule sets are outside the packet-space model (state matchers present)")
+	}
 	if opts.MaxRegions == 0 {
 		opts.MaxRegions = defaultVerifyRegions
 	}

@@ -1,0 +1,112 @@
+package fw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConnState is the connection-tracking classification a stateful filter
+// attaches to a packet before rule evaluation: the netfilter ctstate
+// analog. The zero value StateNone means conntrack was not consulted —
+// the stateless evaluation path — and is deliberately not a matchable
+// state: a rule with state matchers never fires on a stateless walk.
+type ConnState int
+
+// Connection states, in DSL/rendering order.
+const (
+	// StateNone marks a stateless evaluation: no conntrack lookup
+	// happened. Rules carrying state matchers do not match.
+	StateNone ConnState = iota
+	// StateNew marks the first packet of a would-be connection (a TCP
+	// SYN with no entry, or the first UDP/ICMP packet of a pair).
+	StateNew
+	// StateEstablished marks packets belonging to a tracked connection
+	// that has seen traffic in a valid sequence (TCP past the entry
+	// creation, UDP after a reply).
+	StateEstablished
+	// StateRelated marks packets associated with, but not part of, a
+	// tracked connection — ICMP errors referring to an active flow.
+	StateRelated
+	// StateInvalid marks packets that contradict the tracked state: TCP
+	// segments with no entry and no SYN, or segments for a closed entry.
+	StateInvalid
+	// NumConnStates is the sentinel for exhaustive-switch checks.
+	NumConnStates
+)
+
+var connStateNames = [...]string{
+	StateNone:        "none",
+	StateNew:         "new",
+	StateEstablished: "established",
+	StateRelated:     "related",
+	StateInvalid:     "invalid",
+}
+
+// String returns the DSL token for the state.
+func (c ConnState) String() string {
+	if c >= 0 && int(c) < len(connStateNames) {
+		return connStateNames[c]
+	}
+	return fmt.Sprintf("connstate(%d)", int(c))
+}
+
+// StateMask is a set of connection states a rule matches, one bit per
+// ConnState. The zero mask marks a stateless rule, which matches under
+// any state (including StateNone).
+type StateMask uint8
+
+// MaskOf builds a mask from states.
+func MaskOf(states ...ConnState) StateMask {
+	var m StateMask
+	for _, s := range states {
+		m |= 1 << uint(s)
+	}
+	return m
+}
+
+// Has reports whether the mask includes state s.
+func (m StateMask) Has(s ConnState) bool { return m&(1<<uint(s)) != 0 }
+
+// String renders the mask as a comma-separated DSL clause body in enum
+// order, e.g. "new,established".
+func (m StateMask) String() string {
+	var b strings.Builder
+	for s := StateNone; s < NumConnStates; s++ {
+		if !m.Has(s) {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// ParseStateMask parses a comma-separated list of state tokens
+// ("new,established") into a mask. "none" is rejected: StateNone means
+// conntrack was not consulted and is not a matchable state.
+func ParseStateMask(s string) (StateMask, error) {
+	var m StateMask
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch tok {
+		case "new":
+			m |= 1 << uint(StateNew)
+		case "established":
+			m |= 1 << uint(StateEstablished)
+		case "related":
+			m |= 1 << uint(StateRelated)
+		case "invalid":
+			m |= 1 << uint(StateInvalid)
+		case "none":
+			return 0, fmt.Errorf("fw: state %q is not matchable", tok)
+		default:
+			return 0, fmt.Errorf("fw: unknown connection state %q", tok)
+		}
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("fw: empty state list")
+	}
+	return m, nil
+}

@@ -1,0 +1,163 @@
+package fw
+
+import (
+	"math/rand"
+	"testing"
+
+	"barbican/internal/packet"
+)
+
+func TestStateMaskRoundTrip(t *testing.T) {
+	cases := []struct {
+		mask StateMask
+		text string
+	}{
+		{MaskOf(StateNew), "new"},
+		{MaskOf(StateEstablished, StateRelated), "established,related"},
+		{MaskOf(StateInvalid), "invalid"},
+		{MaskOf(StateNew, StateEstablished, StateRelated, StateInvalid), "new,established,related,invalid"},
+	}
+	for _, c := range cases {
+		if got := c.mask.String(); got != c.text {
+			t.Errorf("mask %08b renders %q, want %q", c.mask, got, c.text)
+		}
+		parsed, err := ParseStateMask(c.text)
+		if err != nil || parsed != c.mask {
+			t.Errorf("ParseStateMask(%q) = %08b, %v; want %08b", c.text, parsed, err, c.mask)
+		}
+	}
+	for _, bad := range []string{"none", "", "bogus", "new,none"} {
+		if _, err := ParseStateMask(bad); err == nil {
+			t.Errorf("ParseStateMask(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestStatefulRuleMatching(t *testing.T) {
+	established := Rule{Action: Allow, Direction: Both, States: MaskOf(StateEstablished, StateRelated)}
+	s := packet.Summary{Proto: packet.ProtoTCP, Src: packet.MustIP("10.0.0.1"),
+		Dst: packet.MustIP("10.0.0.2"), SrcPort: 1, DstPort: 2, HasPorts: true}
+
+	if !established.IsStateful() {
+		t.Fatal("rule with state mask not stateful")
+	}
+	if established.MatchesState(s, In, StateNew) {
+		t.Error("established-only rule matched a new packet")
+	}
+	if !established.MatchesState(s, In, StateEstablished) {
+		t.Error("established-only rule missed an established packet")
+	}
+	if !established.MatchesState(s, Out, StateRelated) {
+		t.Error("established-only rule missed a related packet")
+	}
+	// The zero state — conntrack never consulted — matches no stateful
+	// rule: a stateful policy evaluated statelessly falls through.
+	if established.MatchesState(s, In, StateNone) {
+		t.Error("stateful rule matched under StateNone")
+	}
+	// Stateless rules ignore the classification entirely.
+	stateless := Rule{Action: Allow, Direction: Both}
+	for cs := StateNone; cs < NumConnStates; cs++ {
+		if !stateless.MatchesState(s, In, cs) {
+			t.Errorf("stateless rule missed under %v", cs)
+		}
+	}
+}
+
+func TestRuleSetStatefulFlag(t *testing.T) {
+	stateless := MustRuleSet(Deny, AllowAllRule())
+	if stateless.Stateful() {
+		t.Error("stateless set reports stateful")
+	}
+	stateful := MustRuleSet(Deny,
+		Rule{Action: Allow, Direction: In, Proto: packet.ProtoTCP, DstPorts: Port(80), States: MaskOf(StateNew)},
+		Rule{Action: Allow, Direction: Both, States: MaskOf(StateEstablished)},
+	)
+	if !stateful.Stateful() {
+		t.Error("stateful set not flagged")
+	}
+	// Eval (the stateless entry point) evaluates under StateNone: the
+	// stateful rules cannot fire and the default verdict applies.
+	syn := packet.Summary{Proto: packet.ProtoTCP, Src: packet.MustIP("10.0.0.1"),
+		Dst: packet.MustIP("10.0.0.2"), SrcPort: 1000, DstPort: 80, HasPorts: true, Flags: packet.FlagSYN}
+	if v := stateful.Eval(syn, In); v.Action != Deny {
+		t.Errorf("stateless Eval of stateful set = %v, want default deny", v.Action)
+	}
+	if v := stateful.EvalState(syn, In, StateNew); v.Action != Allow {
+		t.Errorf("EvalState(new) = %v, want allow", v.Action)
+	}
+}
+
+// TestCompiledStatefulDifferential: the compiled matcher and the
+// linear walk agree on every (packet, direction, state) triple for a
+// seeded mix of stateful and stateless rules — the same differential
+// contract the stateless compiler is held to, extended by the state
+// dimension.
+func TestCompiledStatefulDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		var rules []Rule
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			rule := Rule{
+				Action:    Action(r.Intn(2) + 1),
+				Direction: Direction(r.Intn(3) + 1),
+			}
+			switch r.Intn(3) {
+			case 0:
+				rule.Proto = packet.ProtoTCP
+			case 1:
+				rule.Proto = packet.ProtoUDP
+			}
+			if rule.Proto != 0 && r.Intn(2) == 0 {
+				rule.DstPorts = Port(uint16(r.Intn(4) + 80))
+			}
+			if r.Intn(2) == 0 {
+				var mask StateMask
+				for mask == 0 {
+					for s := StateNew; s < NumConnStates; s++ {
+						if r.Intn(2) == 0 {
+							mask |= 1 << uint(s)
+						}
+					}
+				}
+				rule.States = mask
+			}
+			rules = append(rules, rule)
+		}
+		rs, err := NewRuleSet(Action(r.Intn(2)+1), rules...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		compiled := Compile(rs)
+
+		for probe := 0; probe < 200; probe++ {
+			s := packet.Summary{
+				Src: packet.IP{10, 0, 0, byte(r.Intn(4) + 1)},
+				Dst: packet.IP{10, 0, 0, byte(r.Intn(4) + 1)},
+			}
+			switch r.Intn(3) {
+			case 0:
+				s.Proto = packet.ProtoTCP
+				s.HasPorts = true
+			case 1:
+				s.Proto = packet.ProtoUDP
+				s.HasPorts = true
+			default:
+				s.Proto = packet.ProtoICMP
+			}
+			if s.HasPorts {
+				s.SrcPort = uint16(r.Intn(100) + 1)
+				s.DstPort = uint16(r.Intn(6) + 80)
+			}
+			dir := Direction(r.Intn(2) + 1)
+			cs := ConnState(r.Intn(int(NumConnStates)))
+			want := rs.EvalState(s, dir, cs)
+			got := compiled.EvalState(s, dir, cs)
+			if got.Action != want.Action || got.Index != want.Index || got.Traversed != want.Traversed {
+				t.Fatalf("trial %d: compiled diverges on %v dir=%v cs=%v: walk=%+v compiled=%+v",
+					trial, s, dir, cs, want, got)
+			}
+		}
+	}
+}

@@ -20,6 +20,12 @@ const (
 	// FloodTCPSYN sends TCP SYNs. Allowed SYN floods elicit RSTs (closed
 	// port) or SYN-ACKs (open port) from the victim.
 	FloodTCPSYN
+	// FloodTCPACK sends bare TCP ACKs that belong to no tracked
+	// connection. Against a stateless filter they look like established
+	// traffic; a conntrack filter classifies them INVALID and drops
+	// each one after a table lookup, without ever creating state — the
+	// probe that separates state exhaustion from packet-rate exhaustion.
+	FloodTCPACK
 )
 
 // FloodConfig configures a flood.
@@ -81,7 +87,7 @@ func NewFlooder(host *stack.Host, target packet.IP, cfg FloodConfig) *Flooder {
 		cfg.Kind = FloodUDP
 	}
 	if cfg.DstPort == 0 {
-		if cfg.Kind == FloodTCPSYN {
+		if cfg.Kind == FloodTCPSYN || cfg.Kind == FloodTCPACK {
 			cfg.DstPort = 80
 		} else {
 			cfg.DstPort = 7
@@ -163,6 +169,17 @@ func (f *Flooder) buildDatagram() *packet.Datagram {
 			DstPort: f.cfg.DstPort,
 			Seq:     uint32(f.sent),
 			Flags:   packet.FlagSYN,
+			Window:  65535,
+		}
+		transport = seg.MarshalTo(src, f.target, tx)
+		proto = packet.ProtoTCP
+	case FloodTCPACK:
+		seg := packet.TCPSegment{
+			SrcPort: f.cfg.SrcPort + uint16(f.sent%1024),
+			DstPort: f.cfg.DstPort,
+			Seq:     uint32(f.sent),
+			Ack:     uint32(f.sent) + 1,
+			Flags:   packet.FlagACK,
 			Window:  65535,
 		}
 		transport = seg.MarshalTo(src, f.target, tx)

@@ -92,6 +92,63 @@ func (s DegradedState) String() string {
 	return "state?"
 }
 
+// StateRecovery selects what happens to the conntrack table when
+// enforcement returns after a degraded episode. The hazard: while a
+// fail-open card passed traffic unfiltered, connections were
+// established that the table never saw. With a stateful policy those
+// flows classify INVALID the moment enforcement resumes — the state
+// desync failure, where recovery itself severs every connection that
+// survived the outage.
+type StateRecovery uint8
+
+const (
+	// RecoveryResync keeps tracked entries and opens a loose-pickup
+	// window: for its duration, mid-stream TCP packets with no entry
+	// classify New and, if the policy admits them, are adopted as
+	// established connections (the net.netfilter.nf_conntrack_tcp_loose
+	// analog). The default, and the fix for the desync hazard.
+	RecoveryResync StateRecovery = iota
+	// RecoveryKeep keeps tracked entries but opens no pickup window:
+	// connections established while degraded-open desync and are
+	// severed. Exists to reproduce the hazard measurably.
+	RecoveryKeep
+	// RecoveryFlush drops the whole table on recovery: every live
+	// connection desyncs, not just the outage-born ones. The worst
+	// posture, kept for comparison.
+	RecoveryFlush
+
+	NumStateRecoveries // array-sizing sentinel, not a policy
+)
+
+var stateRecoveryNames = [...]string{
+	RecoveryResync: "resync",
+	RecoveryKeep:   "keep",
+	RecoveryFlush:  "flush",
+}
+
+func (p StateRecovery) String() string {
+	if int(p) < len(stateRecoveryNames) && stateRecoveryNames[p] != "" {
+		return stateRecoveryNames[p]
+	}
+	return "staterecovery?"
+}
+
+// ParseStateRecovery parses the CLI spelling of a recovery policy.
+func ParseStateRecovery(s string) (StateRecovery, bool) {
+	for p := RecoveryResync; p < NumStateRecoveries; p++ {
+		if s == stateRecoveryNames[p] {
+			return p, true
+		}
+	}
+	return RecoveryResync, false
+}
+
+// SetStateRecovery selects the conntrack recovery policy.
+func (n *NIC) SetStateRecovery(p StateRecovery) { n.stateRecovery = p }
+
+// StateRecovery returns the configured conntrack recovery policy.
+func (n *NIC) StateRecovery() StateRecovery { return n.stateRecovery }
+
 // Degraded-mode timing defaults.
 const (
 	// DefaultUpdateWatchdog bounds how long a policy update may stay
@@ -101,7 +158,27 @@ const (
 	// checks whether it can reset (restore the last committed rule set
 	// and return to healthy).
 	DefaultRecoveryInterval = 100 * time.Millisecond
+	// DefaultResyncWindow is how long after recovery the conntrack
+	// table accepts mid-stream pickup under RecoveryResync.
+	DefaultResyncWindow = time.Second
 )
+
+// conntrackRecovered applies the configured StateRecovery policy at the
+// moment enforcement returns after a degraded episode. Callers run it
+// after the committed rule set is restored.
+func (n *NIC) conntrackRecovered() {
+	if n.ct == nil {
+		return
+	}
+	switch n.stateRecovery {
+	case RecoveryKeep:
+		// Entries survive; outage-born flows stay invisible (the hazard).
+	case RecoveryFlush:
+		n.ct.Flush()
+	case RecoveryResync, NumStateRecoveries:
+		n.ct.EnterLooseWindow(n.kernel.Now() + DefaultResyncWindow)
+	}
+}
 
 // SetFailMode arms (or with FailModeNone disarms) the degraded-mode
 // state machine. With the machine off — the default — the card behaves
@@ -157,9 +234,13 @@ func (n *NIC) CommitPolicyUpdate(rs *fw.RuleSet) {
 		n.recoverEv.Cancel()
 		n.recoverEv = nil
 	}
+	wasDegraded := n.degState == StateDegraded
 	n.setRules(rs)
 	n.lastCommitted = rs
 	n.degState = StateHealthy
+	if wasDegraded {
+		n.conntrackRecovered()
+	}
 }
 
 // CancelPolicyUpdate ends an in-flight policy update that was cleanly
@@ -240,6 +321,7 @@ func (n *NIC) recoverCheck() {
 	n.setRules(n.lastCommitted)
 	n.degState = StateHealthy
 	n.stats.WatchdogResets++
+	n.conntrackRecovered()
 }
 
 // degradedIngress applies the FailMode to one ingress frame while

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"barbican/internal/fw"
+	"barbican/internal/nic/conntrack"
 	"barbican/internal/packet"
 )
 
@@ -21,8 +22,10 @@ func ProfileByName(name string) (Profile, error) {
 		return ADF(), nil
 	case "nextgen":
 		return NextGen(), nil
+	case "stateful":
+		return Stateful(), nil
 	default:
-		return Profile{}, fmt.Errorf("unknown device %q (standard|efw|adf|nextgen)", name)
+		return Profile{}, fmt.Errorf("unknown device %q (standard|efw|adf|nextgen|stateful)", name)
 	}
 }
 
@@ -37,6 +40,11 @@ type PacketSpec struct {
 	Size    int    // IP datagram length in bytes
 	Dir     string // in | out
 	Sealed  bool   // packet arrives in a VPG envelope
+	// Flags is the TCP control-bit list ("syn", "syn,ack", "rst", ...;
+	// "none" for a bare segment). Empty defaults to "syn" — a fresh
+	// connection attempt — which stateless evaluation never reads, so
+	// pre-conntrack explain output is unchanged.
+	Flags string
 }
 
 // Summary builds the packet summary and direction the firewall would
@@ -67,6 +75,29 @@ func (ps PacketSpec) Summary() (packet.Summary, fw.Direction, error) {
 	if s.HasPorts {
 		s.SrcPort = uint16(ps.SrcPort)
 		s.DstPort = uint16(ps.DstPort)
+	}
+	if s.Proto == packet.ProtoTCP {
+		spec := ps.Flags
+		if spec == "" {
+			spec = "syn"
+		}
+		for _, tok := range strings.Split(spec, ",") {
+			switch strings.TrimSpace(strings.ToLower(tok)) {
+			case "syn":
+				s.Flags |= packet.FlagSYN
+			case "ack":
+				s.Flags |= packet.FlagACK
+			case "fin":
+				s.Flags |= packet.FlagFIN
+			case "rst":
+				s.Flags |= packet.FlagRST
+			case "psh":
+				s.Flags |= packet.FlagPSH
+			case "none", "":
+			default:
+				return s, 0, fmt.Errorf("unknown tcp flag %q (syn|ack|fin|rst|psh|none)", tok)
+			}
+		}
 	}
 	s.IPLen = ps.Size
 	if s.IPLen <= 0 {
@@ -113,19 +144,118 @@ type Explanation struct {
 	CacheHitCost    float64 // match cost when the flow's verdict is cached
 	CachedTotalCost float64 // total per-packet cost on a cache hit
 	CachedMaxPPS    float64 // capacity / CachedTotalCost; 0 = wire speed or no cache
+
+	// Conntrack decision, filled only when a state-table profile
+	// evaluates a stateful policy (zero-valued otherwise, so stateless
+	// explain output is byte-unchanged). The replay seeds a scratch
+	// table with the assumed prior flow history, so age and transition
+	// are real table observations, not guesses.
+	Stateful     bool               // conntrack was consulted
+	ConnState    fw.ConnState       // classification the rules matched on
+	CTPrior      string             // assumed prior flow history ("none"|"new"|"established")
+	CTFound      bool               // a tracked entry existed at lookup
+	CTAge        time.Duration      // entry age at lookup
+	CTBefore     conntrack.TCPState // entry state before this packet
+	CTAfter      conntrack.TCPState // entry state after this packet
+	CTInvalid    bool               // dropped by conntrack before rule evaluation
+	CTCreated    bool               // this packet created the entry
+	CTLookupCost float64
+	CTInsertCost float64 // charged only when the packet creates an entry
 }
 
 // Explain replays one packet summary against a rule set (nil = no
 // policy) and predicts the per-stage processing cost on the profile.
 // It uses a private evaluation so it never perturbs live counters.
 func Explain(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction) Explanation {
+	return ExplainConn(p, rs, s, dir, "none")
+}
+
+// seedPrior replays the assumed prior history of the subject flow into
+// a scratch conntrack table ("none" leaves it empty, "new" the flow's
+// unanswered opening packet, "established" a completed exchange) and
+// returns the virtual time at which the subject packet then arrives —
+// one second later, so entry ages in the explanation are non-trivial.
+func seedPrior(ct *conntrack.Table, s packet.Summary, prior string) time.Duration {
+	replay := func(x packet.Summary, at time.Duration) {
+		ct.Classify(x, at)
+		ct.Commit(x, at)
+	}
+	rev := s
+	rev.Src, rev.Dst = s.Dst, s.Src
+	rev.SrcPort, rev.DstPort = s.DstPort, s.SrcPort
+	switch prior {
+	case "new":
+		open := s
+		if s.Proto == packet.ProtoTCP {
+			open.Flags = packet.FlagSYN
+		}
+		replay(open, 0)
+	case "established":
+		switch s.Proto {
+		case packet.ProtoTCP:
+			syn := s
+			syn.Flags = packet.FlagSYN
+			replay(syn, 0)
+			synack := rev
+			synack.Flags = packet.FlagSYN | packet.FlagACK
+			replay(synack, 0)
+			ack := s
+			ack.Flags = packet.FlagACK
+			replay(ack, 0)
+		case packet.ProtoICMP:
+			// Related ICMP rides a tracked connection between the same
+			// endpoints; seed one.
+			tcp := s
+			tcp.Proto = packet.ProtoTCP
+			tcp.HasPorts = true
+			tcp.SrcPort, tcp.DstPort = 40000, 5001
+			tcp.Flags = packet.FlagSYN
+			replay(tcp, 0)
+		default:
+			replay(s, 0)
+			replay(rev, 0)
+		}
+	}
+	return time.Second
+}
+
+// ExplainConn is Explain with an assumed prior conntrack history for
+// the subject flow: "none" (or "") for an untracked flow, "new" for an
+// unanswered opening packet, "established" for a completed exchange.
+// The history is replayed into a scratch table, never a live card's.
+func ExplainConn(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction, prior string) Explanation {
 	e := Explanation{Summary: s, Dir: dir, Profile: p, Action: fw.Allow}
-	if rs != nil {
+	cs := fw.StateNone
+	var ct *conntrack.Table
+	now := time.Duration(0)
+	if p.ConntrackEntries > 0 && rs != nil && rs.Stateful() && !s.Sealed {
+		e.Stateful = true
+		if prior == "" {
+			prior = "none"
+		}
+		e.CTPrior = prior
+		ct = conntrack.New(conntrack.Config{Cap: 64, Seed: 1})
+		now = seedPrior(ct, s, prior)
+		if info, ok := ct.Peek(s, now); ok {
+			e.CTFound = true
+			e.CTAge = info.Age
+			e.CTBefore = info.TCP
+		}
+		cs = ct.Classify(s, now)
+		e.ConnState = cs
+		e.CTLookupCost = p.ConntrackLookupCost
+		if cs == fw.StateInvalid {
+			// The NIC fast path drops INVALID before the rules see it.
+			e.CTInvalid = true
+			e.Action = fw.Deny
+		}
+	}
+	if rs != nil && !e.CTInvalid {
 		// Walk the rules directly instead of calling Eval so live
 		// hit counters stay untouched.
 		matched := false
 		rs.Each(func(i int, r *fw.Rule) bool {
-			if r.Matches(s, dir) {
+			if r.MatchesState(s, dir, cs) {
 				e.Action = r.Action
 				e.RuleIndex = i
 				e.RuleText = r.String()
@@ -140,6 +270,19 @@ func Explain(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction) Expl
 			e.Traversed = rs.Len()
 		}
 	}
+	if e.Stateful && !e.CTInvalid && e.Action == fw.Allow {
+		switch ct.Commit(s, now) {
+		case conntrack.CommitCreated, conntrack.CommitEvicted:
+			e.CTCreated = true
+			e.CTInsertCost = p.ConntrackInsertCost
+		case conntrack.CommitExisting, conntrack.CommitFull, conntrack.NumCommitStatuses:
+		}
+	}
+	if e.Stateful {
+		if info, ok := ct.Peek(s, now); ok {
+			e.CTAfter = info.TCP
+		}
+	}
 	cryptoBytes := 0
 	if s.Sealed && e.Action == fw.Allow && e.RuleIndex > 0 && rs.Rule(e.RuleIndex).IsVPG() {
 		cryptoBytes = s.IPLen
@@ -148,8 +291,9 @@ func Explain(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction) Expl
 	e.FlowCache = p.FlowCacheSize > 0
 	e.CacheHitCost = p.CacheHitCost
 	switch {
-	case rs == nil:
-		// No policy consulted: no match cost on any profile.
+	case rs == nil || e.CTInvalid:
+		// No match cost: no policy consulted, or conntrack dropped the
+		// packet before rule evaluation.
 	case p.CompiledMatch:
 		e.WalkCost = p.CompiledLookupCost
 	default:
@@ -159,13 +303,15 @@ func Explain(p Profile, rs *fw.RuleSet, s packet.Summary, dir fw.Direction) Expl
 	if cryptoBytes > 0 {
 		e.CryptoCost = p.CryptoPerPacket + p.CryptoPerByte*float64(cryptoBytes)
 	}
-	e.TotalCost = e.BaseCost + e.WalkCost + e.CryptoCost
+	e.TotalCost = e.BaseCost + e.WalkCost + e.CryptoCost + e.CTLookupCost + e.CTInsertCost
 	e.ServiceTime = p.ServiceTime(e.TotalCost)
 	if p.CapacityUnits > 0 && e.TotalCost > 0 {
 		e.MaxPPS = p.CapacityUnits / e.TotalCost
 	}
-	if e.FlowCache && rs != nil {
-		e.CachedTotalCost = e.BaseCost + e.CacheHitCost + e.CryptoCost
+	if e.FlowCache && rs != nil && !e.CTInvalid {
+		// Classification precedes the cache, so a hit still pays the
+		// lookup (the insert happened on the flow's first packet).
+		e.CachedTotalCost = e.BaseCost + e.CacheHitCost + e.CryptoCost + e.CTLookupCost
 		if p.CapacityUnits > 0 && e.CachedTotalCost > 0 {
 			e.CachedMaxPPS = p.CapacityUnits / e.CachedTotalCost
 		}
@@ -190,7 +336,21 @@ func (e Explanation) Render() string {
 		b.WriteString(" (wire speed, no filtering cost)")
 	}
 	b.WriteByte('\n')
+	if e.Stateful {
+		fmt.Fprintf(&b, "conntrack: state %v", e.ConnState)
+		switch {
+		case e.CTFound:
+			fmt.Fprintf(&b, " (entry age %v, transition %v → %v)", e.CTAge, e.CTBefore, e.CTAfter)
+		case e.CTCreated:
+			fmt.Fprintf(&b, " (no entry → %v created)", e.CTAfter)
+		default:
+			b.WriteString(" (no tracked entry)")
+		}
+		fmt.Fprintf(&b, " [assumed prior: %s]\n", e.CTPrior)
+	}
 	switch {
+	case e.CTInvalid:
+		fmt.Fprintf(&b, "verdict: deny by conntrack (ctstate INVALID, dropped before rule evaluation)\n")
 	case e.RuleIndex > 0:
 		fmt.Fprintf(&b, "verdict: %v by rule %d after traversing %d rule(s)\n", e.Action, e.RuleIndex, e.Traversed)
 		fmt.Fprintf(&b, "  rule %d: %s\n", e.RuleIndex, e.RuleText)
@@ -206,6 +366,12 @@ func (e Explanation) Render() string {
 		fmt.Fprintf(&b, "  rule walk   %8.1f units (%d × %.4g)\n", e.WalkCost, e.Traversed, e.Profile.PerRuleCost)
 	}
 	fmt.Fprintf(&b, "  base        %8.1f units\n", e.BaseCost)
+	if e.CTLookupCost > 0 {
+		fmt.Fprintf(&b, "  ct lookup   %8.1f units\n", e.CTLookupCost)
+	}
+	if e.CTInsertCost > 0 {
+		fmt.Fprintf(&b, "  ct insert   %8.1f units (new entry committed)\n", e.CTInsertCost)
+	}
 	if e.CryptoCost > 0 {
 		fmt.Fprintf(&b, "  vpg crypto  %8.1f units\n", e.CryptoCost)
 	}

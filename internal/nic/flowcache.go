@@ -19,17 +19,20 @@ import (
 // 0 allocs/op under the noalloc gate.
 
 // flowKey is the flow identity a verdict depends on. It carries exactly
-// the packet attributes fw.Rule.Matches reads — protocol, addresses,
-// ports (and whether they exist), sealing, travel direction — and
-// nothing else, so two packets with equal keys are guaranteed the same
-// verdict under a fixed policy. Per-packet attributes that do not
-// change the verdict (length, TCP flags, fragmentation) stay out of
-// the key and keep the hit rate high.
+// the packet attributes fw.Rule.MatchesState reads — protocol,
+// addresses, ports (and whether they exist), sealing, travel
+// direction, and the conntrack classification — and nothing else, so
+// two packets with equal keys are guaranteed the same verdict under a
+// fixed policy. Per-packet attributes that do not change the verdict
+// (length, TCP flags except through cs, fragmentation) stay out of the
+// key and keep the hit rate high. On stateless policies cs is always
+// fw.StateNone and the key degenerates to the old 5-tuple form.
 type flowKey struct {
 	src, dst         packet.IP
 	srcPort, dstPort uint16
 	proto            packet.Protocol
 	dir              fw.Direction
+	cs               fw.ConnState
 	flags            uint8 // bit 0: has transport ports; bit 1: sealed
 }
 
@@ -66,11 +69,12 @@ func newFlowCache(capacity int) *flowCache {
 	}
 }
 
-// key builds the flow identity for a packet summary traveling in dir.
+// key builds the flow identity for a packet summary traveling in dir
+// whose conntrack classification is cs.
 //
 //barbican:noalloc
-func (c *flowCache) key(s packet.Summary, dir fw.Direction) flowKey {
-	k := flowKey{src: s.Src, dst: s.Dst, proto: s.Proto, dir: dir}
+func (c *flowCache) key(s packet.Summary, dir fw.Direction, cs fw.ConnState) flowKey {
+	k := flowKey{src: s.Src, dst: s.Dst, proto: s.Proto, dir: dir, cs: cs}
 	if s.HasPorts {
 		k.srcPort, k.dstPort = s.SrcPort, s.DstPort
 		k.flags |= 1
@@ -85,8 +89,8 @@ func (c *flowCache) key(s packet.Summary, dir fw.Direction) flowKey {
 // per-packet hot path: one map read, no writes beyond the counters.
 //
 //barbican:noalloc
-func (c *flowCache) lookup(s packet.Summary, dir fw.Direction) (fw.Verdict, bool) {
-	if i, ok := c.idx[c.key(s, dir)]; ok {
+func (c *flowCache) lookup(s packet.Summary, dir fw.Direction, cs fw.ConnState) (fw.Verdict, bool) {
+	if i, ok := c.idx[c.key(s, dir, cs)]; ok {
 		c.hits++
 		return c.verdicts[i], true
 	}
@@ -96,8 +100,8 @@ func (c *flowCache) lookup(s packet.Summary, dir fw.Direction) (fw.Verdict, bool
 
 // insert remembers the verdict for the packet's flow, evicting the
 // slot under the round-robin cursor when the cache is full.
-func (c *flowCache) insert(s packet.Summary, dir fw.Direction, v fw.Verdict) {
-	k := c.key(s, dir)
+func (c *flowCache) insert(s packet.Summary, dir fw.Direction, cs fw.ConnState, v fw.Verdict) {
+	k := c.key(s, dir, cs)
 	if i, ok := c.idx[k]; ok {
 		c.verdicts[i] = v
 		return

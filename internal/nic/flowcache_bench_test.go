@@ -29,11 +29,11 @@ func BenchmarkFlowCache(b *testing.B) {
 		c := fw.Compile(rs)
 		fc := newFlowCache(4096)
 		s := benchSummary(1, 4242)
-		fc.insert(s, fw.Out, c.Eval(s, fw.Out))
+		fc.insert(s, fw.Out, fw.StateNone, c.Eval(s, fw.Out))
 		b.Run(fmt.Sprintf("hit-depth%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				v, ok := fc.lookup(s, fw.Out)
+				v, ok := fc.lookup(s, fw.Out, fw.StateNone)
 				if !ok || v.Action != fw.Allow {
 					b.Fatal("unexpected miss")
 				}
@@ -59,8 +59,8 @@ func BenchmarkFlowCache(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s := flows[i&8191]
-			if _, ok := fc.lookup(s, fw.Out); !ok {
-				fc.insert(s, fw.Out, c.Eval(s, fw.Out))
+			if _, ok := fc.lookup(s, fw.Out, fw.StateNone); !ok {
+				fc.insert(s, fw.Out, fw.StateNone, c.Eval(s, fw.Out))
 			}
 		}
 	})

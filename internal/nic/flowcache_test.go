@@ -34,7 +34,7 @@ func TestFlowCacheBoundedEviction(t *testing.T) {
 	for i := byte(0); i < 6; i++ {
 		s := mk(i)
 		v := rs.Eval(s, fw.Out)
-		c.insert(s, fw.Out, v)
+		c.insert(s, fw.Out, fw.StateNone, v)
 	}
 	st := c.stats()
 	if st.Entries != 4 {
@@ -45,12 +45,12 @@ func TestFlowCacheBoundedEviction(t *testing.T) {
 	}
 	// The two oldest flows were displaced; the four newest remain.
 	for i := byte(0); i < 2; i++ {
-		if _, ok := c.lookup(mk(i), fw.Out); ok {
+		if _, ok := c.lookup(mk(i), fw.Out, fw.StateNone); ok {
 			t.Errorf("flow %d still cached after eviction", i)
 		}
 	}
 	for i := byte(2); i < 6; i++ {
-		v, ok := c.lookup(mk(i), fw.Out)
+		v, ok := c.lookup(mk(i), fw.Out, fw.StateNone)
 		if !ok {
 			t.Fatalf("flow %d missing from cache", i)
 		}
@@ -62,7 +62,7 @@ func TestFlowCacheBoundedEviction(t *testing.T) {
 	if st := c.stats(); st.Entries != 0 || st.Invalidations != 1 {
 		t.Errorf("after invalidate: %+v", st)
 	}
-	if _, ok := c.lookup(mk(3), fw.Out); ok {
+	if _, ok := c.lookup(mk(3), fw.Out, fw.StateNone); ok {
 		t.Error("lookup succeeded after invalidate")
 	}
 }
@@ -76,28 +76,28 @@ func TestFlowCacheKeySeparation(t *testing.T) {
 		Src:   packet.IP{10, 0, 0, 1}, Dst: packet.IP{10, 0, 0, 2},
 		SrcPort: 1, DstPort: 80, HasPorts: true, IPLen: 40,
 	}
-	c.insert(base, fw.In, fw.Verdict{Action: fw.Allow, Index: 1, Traversed: 1})
+	c.insert(base, fw.In, fw.StateNone, fw.Verdict{Action: fw.Allow, Index: 1, Traversed: 1})
 
 	variants := []packet.Summary{base, base, base}
 	variants[0].DstPort = 81
 	variants[1].Sealed = true
 	variants[2].HasPorts = false
 	for i, s := range variants {
-		if _, ok := c.lookup(s, fw.In); ok {
+		if _, ok := c.lookup(s, fw.In, fw.StateNone); ok {
 			t.Errorf("variant %d shared the base flow's entry", i)
 		}
 	}
-	if _, ok := c.lookup(base, fw.Out); ok {
+	if _, ok := c.lookup(base, fw.Out, fw.StateNone); ok {
 		t.Error("opposite direction shared the base flow's entry")
 	}
-	if v, ok := c.lookup(base, fw.In); !ok || v.Index != 1 {
+	if v, ok := c.lookup(base, fw.In, fw.StateNone); !ok || v.Index != 1 {
 		t.Errorf("base flow lookup = %+v, %v", v, ok)
 	}
 	// Length and flags changes do NOT change the flow identity: the
 	// verdict doesn't depend on them, so they must hit.
 	longer := base
 	longer.IPLen = 1400
-	if _, ok := c.lookup(longer, fw.In); !ok {
+	if _, ok := c.lookup(longer, fw.In, fw.StateNone); !ok {
 		t.Error("length-only variant missed; it should share the flow entry")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"barbican/internal/fw"
 	"barbican/internal/link"
+	"barbican/internal/nic/conntrack"
 	"barbican/internal/obs/profile"
 	"barbican/internal/obs/tracing"
 	"barbican/internal/packet"
@@ -44,6 +45,13 @@ type Stats struct {
 	RxDegradedDrops uint64 // ingress frames dropped fail-closed
 	TxDegradedDrops uint64 // egress frames dropped fail-closed
 	DegradedPass    uint64 // frames passed unfiltered fail-open
+
+	// Conntrack activity (all zero on stateless profiles/policies).
+	RxNoStateDrops     uint64 // ingress ctstate-INVALID drops
+	TxNoStateDrops     uint64 // egress ctstate-INVALID drops
+	RxStateFullDrops   uint64 // ingress drops: table full, posture closed
+	TxStateFullDrops   uint64 // egress drops: table full, posture closed
+	StateUntrackedPass uint64 // table full, FailModeOpen: admitted untracked
 }
 
 type replayKey struct {
@@ -73,6 +81,16 @@ type NIC struct {
 	// sync with rules by setRules — never assign n.rules directly.
 	compiled *fw.CompiledSet
 	fcache   *flowCache
+
+	// ct is the connection-tracking table (nil on stateless profiles),
+	// consulted whenever the installed policy carries state matchers.
+	// Assigned only through setConntrack — cached flow verdicts embed
+	// the classifications the current table produced, so a table swap
+	// must invalidate the cache with it. stateRecovery decides what
+	// happens to tracked state when enforcement returns after a
+	// degraded episode (see degraded.go).
+	ct            *conntrack.Table
+	stateRecovery StateRecovery
 
 	locked      bool
 	winStart    time.Duration
@@ -137,6 +155,15 @@ func New(k *sim.Kernel, mac packet.MAC, profile Profile, ep *link.Endpoint) *NIC
 		}
 	}
 	n.finishFn = n.finishPending
+	if profile.ConntrackEntries > 0 {
+		// The eviction stream's seed comes from the kernel's seeded
+		// RNG, so a run is reproducible from the experiment seed alone.
+		n.setConntrack(conntrack.New(conntrack.Config{
+			Cap:    profile.ConntrackEntries,
+			Policy: profile.ConntrackEvict,
+			Seed:   k.Rand().Int63(),
+		}))
+	}
 	ep.Attach(n.handleFrame)
 	return n
 }
@@ -289,29 +316,92 @@ func (n *NIC) FlowCacheStats() FlowCacheStats {
 	return n.fcache.stats()
 }
 
-// evalPolicy produces the verdict for a policy-subject packet: the flow
-// cache first, then the compiled matcher when the profile has one,
+// setConntrack makes t the card's connection-tracking table. Every
+// assignment of the table funnels through here so the swap invalidates
+// the flow cache with it: cached verdicts are keyed by the conn-state
+// classification the old table produced, and a different table (or
+// none) can classify the same flow differently.
+func (n *NIC) setConntrack(t *conntrack.Table) {
+	n.ct = t
+	n.invalidateFlowCache()
+}
+
+// Conntrack returns the card's connection-tracking table (nil on
+// stateless profiles). Callers may read stats or Peek; mutating it
+// outside the ingress/egress paths voids determinism.
+func (n *NIC) Conntrack() *conntrack.Table { return n.ct }
+
+// ConntrackStats returns a snapshot of the state table's counters
+// (zero when the profile has no table).
+func (n *NIC) ConntrackStats() conntrack.Stats {
+	if n.ct == nil {
+		return conntrack.Stats{}
+	}
+	return n.ct.Stats()
+}
+
+// classifyConn runs the conntrack classification for a policy-subject
+// packet, returning the state its rules match on plus the lookup cost.
+// Stateless profiles, stateless policies, and sealed envelopes (whose
+// transport header the card cannot see) skip the table entirely —
+// StateNone, zero cost, byte-identical to the pre-conntrack card.
+//
+//barbican:noalloc
+func (n *NIC) classifyConn(s packet.Summary) (fw.ConnState, float64) {
+	if n.ct == nil || s.Sealed || !n.rules.Stateful() {
+		return fw.StateNone, 0
+	}
+	return n.ct.Classify(s, n.kernel.Now()), n.profile.ConntrackLookupCost
+}
+
+// commitConn records an allowed new connection in the state table and
+// returns the insert cost plus whether the packet must instead be
+// dropped because the table is full and the card's posture forbids
+// admitting untracked connections (FailModeOpen admits them, counted).
+//
+//barbican:noalloc
+func (n *NIC) commitConn(s packet.Summary, cs fw.ConnState) (cost float64, fullDrop bool) {
+	if cs == fw.StateNone {
+		return 0, false
+	}
+	switch n.ct.Commit(s, n.kernel.Now()) {
+	case conntrack.CommitCreated, conntrack.CommitEvicted:
+		return n.profile.ConntrackInsertCost, false
+	case conntrack.CommitFull:
+		if n.failMode == FailModeOpen {
+			n.stats.StateUntrackedPass++
+			return n.profile.ConntrackInsertCost, false
+		}
+		return n.profile.ConntrackInsertCost, true
+	case conntrack.CommitExisting, conntrack.NumCommitStatuses:
+	}
+	return 0, false
+}
+
+// evalPolicy produces the verdict for a policy-subject packet whose
+// conntrack classification is cs (StateNone on the stateless path): the
+// flow cache first, then the compiled matcher when the profile has one,
 // otherwise the linear reference walk. A cache hit replays the
 // remembered verdict and applies the same counter updates the walk
 // would (fw.RuleSet.Record), so per-rule hit metrics and attribution
 // stay exact. Callers guarantee n.rules != nil.
 //
 //barbican:noalloc
-func (n *NIC) evalPolicy(s packet.Summary, dir fw.Direction) (fw.Verdict, MatchPath) {
+func (n *NIC) evalPolicy(s packet.Summary, dir fw.Direction, cs fw.ConnState) (fw.Verdict, MatchPath) {
 	if n.fcache != nil {
-		if v, ok := n.fcache.lookup(s, dir); ok {
+		if v, ok := n.fcache.lookup(s, dir, cs); ok {
 			n.rules.Record(v)
 			return v, MatchCacheHit
 		}
 	}
 	var v fw.Verdict
 	if n.compiled != nil {
-		v = n.compiled.Eval(s, dir)
+		v = n.compiled.EvalState(s, dir, cs)
 	} else {
-		v = n.rules.Eval(s, dir)
+		v = n.rules.EvalState(s, dir, cs)
 	}
 	if n.fcache != nil {
-		n.fcache.insert(s, dir, v)
+		n.fcache.insert(s, dir, cs, v)
 	}
 	return v, MatchWalk
 }
@@ -387,6 +477,7 @@ func (n *NIC) RestartAgent() {
 	if n.degState != StateHealthy {
 		n.setRules(n.lastCommitted)
 		n.degState = StateHealthy
+		n.conntrackRecovered()
 	}
 }
 
@@ -426,10 +517,43 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 
 	verdict := fw.Verdict{Action: fw.Allow}
 	path := MatchNone
+	cs := fw.StateNone
+	var ctCost float64
+	stateFull := false
 	if n.rules != nil && !n.isManagement(s) {
-		verdict, path = n.evalPolicy(s, fw.Out)
+		// Conntrack sees both directions: the outbound SYN creates the
+		// entry the inbound SYN/ACK will be classified against.
+		cs, ctCost = n.classifyConn(s)
+		if cs == fw.StateInvalid {
+			if _, ok := n.proc.Admit(n.profile.CostPath(MatchNone, 0, 0) + ctCost); ok {
+				if n.prof != nil {
+					base, match, crypto := n.profile.CostPartsPath(MatchNone, 0, 0)
+					n.prof.RecordTx(0, 0, base, match+ctCost, crypto)
+				}
+				n.stats.TxNoStateDrops++
+				n.txDrops[tracing.DropNoState]++
+				if tid != 0 {
+					tr.Drop(tid, tracing.StageNICTx, tracing.DropNoState)
+				}
+			} else {
+				n.stats.TxOverloadDrops++
+				reason := n.overloadReason()
+				n.txDrops[reason]++
+				n.noteOverload(reason)
+				if tid != 0 {
+					tr.Drop(tid, tracing.StageNICTx, reason)
+				}
+			}
+			return false
+		}
+		verdict, path = n.evalPolicy(s, fw.Out, cs)
 		if tid != 0 {
 			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String())
+		}
+		if verdict.Action == fw.Allow {
+			insertCost, fullDrop := n.commitConn(s, cs)
+			ctCost += insertCost
+			stateFull = fullDrop
 		}
 	}
 
@@ -440,7 +564,7 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 		cryptoBytes = len(d.Payload) + vpg.Overhead(len(sealGroup))
 	}
 
-	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes))
+	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes) + ctCost)
 	if !ok {
 		n.stats.TxOverloadDrops++
 		reason := n.overloadReason()
@@ -453,13 +577,21 @@ func (n *NIC) Send(d *packet.Datagram, dstMAC packet.MAC) bool {
 	}
 	if n.prof != nil {
 		base, match, crypto := n.profile.CostPartsPath(path, verdict.Traversed, cryptoBytes)
-		n.prof.RecordTx(verdict.Traversed, verdict.Index, base, match, crypto)
+		n.prof.RecordTx(verdict.Traversed, verdict.Index, base, match+ctCost, crypto)
 	}
 	if verdict.Action == fw.Deny {
 		n.stats.TxDenied++
 		n.txDrops[tracing.DropRuleDeny]++
 		if tid != 0 {
 			tr.Drop(tid, tracing.StageNICTx, tracing.DropRuleDeny)
+		}
+		return false
+	}
+	if stateFull {
+		n.stats.TxStateFullDrops++
+		n.txDrops[tracing.DropStateTableFull]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICTx, tracing.DropStateTableFull)
 		}
 		return false
 	}
@@ -637,10 +769,48 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 
 	verdict := fw.Verdict{Action: fw.Allow}
 	path := MatchNone
+	cs := fw.StateNone
+	var ctCost float64
+	stateFull := false
 	if n.rules != nil && !n.isManagement(s) {
-		verdict, path = n.evalPolicy(s, fw.In)
+		cs, ctCost = n.classifyConn(s)
+		if cs == fw.StateInvalid {
+			// A packet that contradicts tracked connection state is
+			// dropped before rule evaluation — the NIC-offload posture is
+			// strict, unlike the host filter where rules may still match
+			// INVALID explicitly. The lookup still cost the processor.
+			if _, ok := n.proc.Admit(n.profile.CostPath(MatchNone, 0, 0) + ctCost); ok {
+				if n.prof != nil {
+					base, match, crypto := n.profile.CostPartsPath(MatchNone, 0, 0)
+					n.prof.RecordRx(0, 0, base, match+ctCost, crypto) //barbican:allow alloc -- profiled-only branch; prof==nil on the contract path
+				}
+				n.stats.RxNoStateDrops++
+				n.rxDrops[tracing.DropNoState]++
+				if tid != 0 {
+					tr.Drop(tid, tracing.StageNICRx, tracing.DropNoState)
+				}
+			} else {
+				n.stats.RxOverloadDrops++
+				reason := n.overloadReason()
+				n.rxDrops[reason]++
+				n.noteOverload(reason)
+				if tid != 0 {
+					tr.Drop(tid, tracing.StageNICRx, reason)
+				}
+			}
+			return
+		}
+		verdict, path = n.evalPolicy(s, fw.In, cs)
 		if tid != 0 {
 			tr.RuleWalk(tid, verdict.Index, verdict.Traversed, verdict.Action.String()) //barbican:allow alloc -- traced-only branch; tid==0 when no tracer is attached
+		}
+		if verdict.Action == fw.Allow {
+			// Only allowed packets occupy state-table slots: a denied SYN
+			// never consumes conntrack memory (netfilter's conntrack
+			// records what filter admits, not what arrives).
+			insertCost, fullDrop := n.commitConn(s, cs)
+			ctCost += insertCost
+			stateFull = fullDrop
 		}
 	}
 
@@ -665,7 +835,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 		}
 	}
 
-	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes))
+	completeAt, ok := n.proc.Admit(n.profile.CostPath(path, verdict.Traversed, cryptoBytes) + ctCost)
 	if !ok {
 		n.stats.RxOverloadDrops++
 		reason := n.overloadReason()
@@ -678,7 +848,7 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 	}
 	if n.prof != nil {
 		base, match, crypto := n.profile.CostPartsPath(path, verdict.Traversed, cryptoBytes)
-		n.prof.RecordRx(verdict.Traversed, verdict.Index, base, match, crypto) //barbican:allow alloc -- profiled-only branch; prof==nil on the contract path
+		n.prof.RecordRx(verdict.Traversed, verdict.Index, base, match+ctCost, crypto) //barbican:allow alloc -- profiled-only branch; prof==nil on the contract path
 	}
 	if verdict.Action == fw.Deny {
 		n.stats.RxDenied++
@@ -687,6 +857,17 @@ func (n *NIC) handleFrame(f *packet.Frame) {
 			tr.Drop(tid, tracing.StageNICRx, tracing.DropRuleDeny)
 		}
 		n.noteDenied()
+		return
+	}
+	if stateFull {
+		// Policy said allow but the state table is full and the posture
+		// is not fail-open: the connection cannot be tracked, so it is
+		// not admitted. The work was already done, hence after Admit.
+		n.stats.RxStateFullDrops++
+		n.rxDrops[tracing.DropStateTableFull]++
+		if tid != 0 {
+			tr.Drop(tid, tracing.StageNICRx, tracing.DropStateTableFull)
+		}
 		return
 	}
 	if tid != 0 {

@@ -109,6 +109,34 @@ func (n *NIC) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 			func() float64 { return float64(len(n.fcache.idx)) })
 	}
 
+	if n.ct != nil {
+		gauge("nic_conntrack_entries", "Connections currently tracked in the bounded state table.",
+			func() float64 { return float64(n.ct.Len()) })
+		gauge("nic_conntrack_capacity", "State-table slot capacity.",
+			func() float64 { return float64(n.ct.Cap()) })
+		gauge("nic_conntrack_mem_bytes", "Card SRAM charged to the state table.",
+			func() float64 { return float64(n.profile.ConntrackMemBytes()) })
+		counter("nic_conntrack_created_total", "State-table entries created.",
+			func() float64 { return float64(n.ct.Stats().Created) })
+		counter("nic_conntrack_expired_total", "Entries reclaimed by per-state idle timeouts.",
+			func() float64 { return float64(n.ct.Stats().Expired) })
+		reg.MustRegisterFunc("nic_conntrack_evictions_total",
+			"Live entries displaced to make room, by the table's eviction policy.",
+			obs.KindCounter,
+			func() float64 { return float64(n.ct.Stats().Evicted) },
+			append([]obs.Label{obs.L("policy", n.ct.Policy().String())}, labels...)...)
+		// Stateful denials by reason, both directions summed: the two
+		// drop taxonomies conntrack adds to the card.
+		for _, r := range []tracing.DropReason{tracing.DropNoState, tracing.DropStateTableFull} {
+			r := r
+			reg.MustRegisterFunc("nic_conntrack_denied_total",
+				"Packets denied by connection tracking, by reason.",
+				obs.KindCounter,
+				func() float64 { return float64(n.rxDrops[r] + n.txDrops[r]) },
+				append([]obs.Label{obs.L("reason", r.String())}, labels...)...)
+		}
+	}
+
 	gauge("nic_locked", "Whether the card is currently wedged (0/1).",
 		func() float64 {
 			if n.locked {

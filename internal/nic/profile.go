@@ -1,6 +1,10 @@
 package nic
 
-import "time"
+import (
+	"time"
+
+	"barbican/internal/nic/conntrack"
+)
 
 // MatchPath classifies how a packet's verdict was produced, which is
 // what the cost model charges for: no policy consulted at all, a
@@ -88,6 +92,26 @@ type Profile struct {
 	FlowCacheSize int
 	// CacheHitCost is the per-packet match cost on a flow-cache hit.
 	CacheHitCost float64
+	// ConntrackEntries, when positive, gives the card a bounded
+	// connection-tracking table (internal/nic/conntrack) consulted
+	// whenever the installed policy carries state matchers. The bound
+	// is the card's state memory budget divided by ConntrackEntryBytes.
+	ConntrackEntries int
+	// ConntrackEntryBytes is the card SRAM one tracked connection
+	// occupies; ConntrackEntries × ConntrackEntryBytes is the memory
+	// the table charges against the card.
+	ConntrackEntryBytes int
+	// ConntrackLookupCost is the per-packet cost of the conntrack
+	// classification (hash lookup + state-machine advance), paid by
+	// every packet of a stateful policy.
+	ConntrackLookupCost float64
+	// ConntrackInsertCost is the additional cost of creating a table
+	// entry (including any eviction work) for an allowed new
+	// connection.
+	ConntrackInsertCost float64
+	// ConntrackEvict selects the table's eviction policy
+	// (conntrack.EvictLRU when zero).
+	ConntrackEvict conntrack.EvictPolicy
 }
 
 // Standard returns the non-filtering wire-speed NIC profile (the paper's
@@ -170,6 +194,49 @@ func NextGen() Profile {
 		FlowCacheSize:      4096,
 		CacheHitCost:       1.5,
 	}
+}
+
+// Stateful returns a hypothetical stateful embedded firewall: EFW-class
+// capacity and rule costs (without the Deny-All lockup defect), plus a
+// connection-tracking table bounded by card memory. It is the profile
+// the stateflood experiment family measures: the same processor budget
+// as the EFW, so its *packet-rate* DoS threshold is comparable, but a
+// new, much cheaper exhaustion axis — table state — that the stateless
+// cards simply do not have.
+//
+// Calibration anchors:
+//   - 128 KiB of state SRAM at 128 B/entry bounds the table at 1,024
+//     connections — the same order as early commercial stateful
+//     offloads, and small enough that the testbed's flood generator
+//     can exhaust it at rates far below the packet-rate DoS threshold
+//   - conntrack lookup ≈ 2 units (one hash probe + state advance) and
+//     insert ≈ 4 units (slot claim + optional eviction): the netfilter
+//     measurement literature puts conntrack at a small constant per
+//     packet, dwarfed by the 29.5-unit base cost
+//   - packet-rate DoS stays EFW-shaped: 2F·(29.5+2+d) ≈ capacity
+func Stateful() Profile {
+	return Profile{
+		Name:                "StatefulFW",
+		CapacityUnits:       750_000,
+		BaseCost:            29.5,
+		PerRuleCost:         1.0,
+		MaxQueue:            DefaultQueuePackets,
+		CompiledMatch:       true,
+		CompiledLookupCost:  6,
+		FlowCacheSize:       1024,
+		CacheHitCost:        1.5,
+		ConntrackEntries:    1024,
+		ConntrackEntryBytes: 128,
+		ConntrackLookupCost: 2.0,
+		ConntrackInsertCost: 4.0,
+		ConntrackEvict:      conntrack.EvictLRU,
+	}
+}
+
+// ConntrackMemBytes is the card memory the state table charges: the
+// entry bound times the per-entry footprint.
+func (p Profile) ConntrackMemBytes() int {
+	return p.ConntrackEntries * p.ConntrackEntryBytes
 }
 
 // matchCost is the rule-matching component of a packet's cost, by how

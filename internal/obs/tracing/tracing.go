@@ -66,39 +66,43 @@ func (s Stage) String() string {
 type DropReason uint8
 
 const (
-	DropNone          DropReason = iota
-	DropRuleDeny                 // firewall rule (or default policy) said deny
-	DropQueueOverflow            // ingress/egress queue full, processor keeping up
-	DropCPUExhausted             // queue full while the card processor is saturated
-	DropMalformed                // unparseable or checksum-bad frame
-	DropAgentNotReady            // card locked up / policy agent not ready
-	DropAuthFail                 // VPG authentication failure
-	DropReplay                   // VPG anti-replay window rejection
-	DropNoGroup                  // sealed frame without a matching VPG
-	DropOversize                 // frame exceeds link MTU
-	DropLinkQueue                // link transmit queue overflow
-	DropFaultLoss                // fault injection: probabilistic frame loss
-	DropLinkDown                 // fault injection: link down / partition window
-	DropDegraded                 // NIC in fail-closed degraded mode
+	DropNone           DropReason = iota
+	DropRuleDeny                  // firewall rule (or default policy) said deny
+	DropQueueOverflow             // ingress/egress queue full, processor keeping up
+	DropCPUExhausted              // queue full while the card processor is saturated
+	DropMalformed                 // unparseable or checksum-bad frame
+	DropAgentNotReady             // card locked up / policy agent not ready
+	DropAuthFail                  // VPG authentication failure
+	DropReplay                    // VPG anti-replay window rejection
+	DropNoGroup                   // sealed frame without a matching VPG
+	DropOversize                  // frame exceeds link MTU
+	DropLinkQueue                 // link transmit queue overflow
+	DropFaultLoss                 // fault injection: probabilistic frame loss
+	DropLinkDown                  // fault injection: link down / partition window
+	DropDegraded                  // NIC in fail-closed degraded mode
+	DropStateTableFull            // conntrack table full and posture forbids untracked admit
+	DropNoState                   // packet contradicts tracked connection state (ctstate INVALID)
 
 	NumDropReasons // array-sizing sentinel, not a reason
 )
 
 var dropNames = [...]string{
-	DropNone:          "none",
-	DropRuleDeny:      "rule-deny",
-	DropQueueOverflow: "queue-overflow",
-	DropCPUExhausted:  "cpu-exhausted",
-	DropMalformed:     "malformed",
-	DropAgentNotReady: "agent-not-ready",
-	DropAuthFail:      "auth-fail",
-	DropReplay:        "replay",
-	DropNoGroup:       "no-group",
-	DropOversize:      "oversize",
-	DropLinkQueue:     "link-queue",
-	DropFaultLoss:     "fault-loss",
-	DropLinkDown:      "link-down",
-	DropDegraded:      "degraded",
+	DropNone:           "none",
+	DropRuleDeny:       "rule-deny",
+	DropQueueOverflow:  "queue-overflow",
+	DropCPUExhausted:   "cpu-exhausted",
+	DropMalformed:      "malformed",
+	DropAgentNotReady:  "agent-not-ready",
+	DropAuthFail:       "auth-fail",
+	DropReplay:         "replay",
+	DropNoGroup:        "no-group",
+	DropOversize:       "oversize",
+	DropLinkQueue:      "link-queue",
+	DropFaultLoss:      "fault-loss",
+	DropLinkDown:       "link-down",
+	DropDegraded:       "degraded",
+	DropStateTableFull: "state-table-full",
+	DropNoState:        "no-state",
 }
 
 func (r DropReason) String() string {

@@ -9,6 +9,7 @@
 //	allow in proto tcp from any to 10.0.0.2/32 port 80
 //	deny in proto udp from 10.0.0.0/8 to any
 //	allow in vpg psq from 10.0.0.0/24 to 10.0.0.2/32
+//	allow both from any to any state established,related
 //	default deny
 package policy
 
@@ -255,6 +256,17 @@ func parseRule(line, name string) (fw.Rule, error) {
 	}
 	if r.Dst, r.DstPorts, err = parseEndpoint("to"); err != nil {
 		return r, err
+	}
+	if peek() == "state" {
+		next()
+		tok, ok = next()
+		if !ok {
+			return r, fmt.Errorf("missing state list")
+		}
+		r.States, err = fw.ParseStateMask(tok)
+		if err != nil {
+			return r, err
+		}
 	}
 	if tok := peek(); tok != "" {
 		return r, fmt.Errorf("trailing tokens starting at %q", tok)

@@ -144,6 +144,13 @@ func (a *Agent) Snapshot(r *Report) {
 	r.RxAllowed = stats.RxAllowed
 	r.FlowHits = flow.Hits
 	r.FlowMisses = flow.Misses
+	if ct := a.card.Conntrack(); ct != nil {
+		r.CTEntries = uint32(ct.Len())
+		r.CTCapacity = uint32(ct.Cap())
+		r.CTEvictions = ct.Stats().Evicted
+	} else {
+		r.CTEntries, r.CTCapacity, r.CTEvictions = 0, 0, 0
+	}
 	r.RxDrops, r.TxDrops = a.card.DropCounts()
 }
 

@@ -220,6 +220,9 @@ func (c *Collector) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 				}
 				return (c.kernel.Now() - h.LastAt).Seconds()
 			}, dl...)
+		reg.MustRegisterFunc("telemetry_device_conntrack_occupancy",
+			"State-table fill ratio from this device's last report (0 on stateless cards).",
+			obs.KindGauge, func() float64 { return h.Last.CTOccupancy() }, dl...)
 		reg.MustRegisterFunc("telemetry_device_alert_state",
 			"Detector state (0 healthy, 1 suspect, 2 alerting, 3 recovering).",
 			obs.KindGauge, func() float64 { return float64(h.Detector.State()) }, dl...)

@@ -77,10 +77,28 @@ type Report struct {
 	FlowHits   uint64
 	FlowMisses uint64
 
+	// Conntrack table occupancy (all zero on stateless cards).
+	// CTEntries over CTCapacity is the occupancy ratio the collector's
+	// detectors watch for state-exhaustion floods; CTEvictions is the
+	// cumulative displaced-entry count, whose rate is the flood's
+	// steady-state signature once the table is pinned full.
+	CTEntries   uint32
+	CTCapacity  uint32
+	CTEvictions uint64
+
 	// RxDrops and TxDrops are the card's always-on per-reason drop
 	// counters, indexed by tracing.DropReason.
 	RxDrops [tracing.NumDropReasons]uint64
 	TxDrops [tracing.NumDropReasons]uint64
+}
+
+// CTOccupancy returns the state-table fill ratio (0 on stateless
+// cards).
+func (r *Report) CTOccupancy() float64 {
+	if r.CTCapacity == 0 {
+		return 0
+	}
+	return float64(r.CTEntries) / float64(r.CTCapacity)
 }
 
 // RxDropTotal sums the ingress drop counters — the detector's primary
@@ -156,6 +174,9 @@ func AppendReport(dst []byte, r *Report) []byte {
 	dst = appendU64(dst, r.RxAllowed)
 	dst = appendU64(dst, r.FlowHits)
 	dst = appendU64(dst, r.FlowMisses)
+	dst = appendU32(dst, r.CTEntries)
+	dst = appendU32(dst, r.CTCapacity)
+	dst = appendU64(dst, r.CTEvictions)
 	dst = append(dst, byte(tracing.NumDropReasons))
 	for i := range r.RxDrops {
 		dst = appendU64(dst, r.RxDrops[i])
@@ -248,7 +269,7 @@ func parseReportBody(body []byte) (*Report, error) {
 	}
 	r := &Report{Device: string(name)}
 
-	fixed, err := take(4 + 8 + 4 + 3 + 8 + 4 + 8*4 + 1)
+	fixed, err := take(4 + 8 + 4 + 3 + 8 + 4 + 8*4 + 4 + 4 + 8 + 1)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +285,10 @@ func parseReportBody(body []byte) (*Report, error) {
 	r.RxAllowed = u64(fixed[39:])
 	r.FlowHits = u64(fixed[47:])
 	r.FlowMisses = u64(fixed[55:])
-	if reasons := int(fixed[63]); reasons != int(tracing.NumDropReasons) {
+	r.CTEntries = u32(fixed[63:])
+	r.CTCapacity = u32(fixed[67:])
+	r.CTEvictions = u64(fixed[71:])
+	if reasons := int(fixed[79]); reasons != int(tracing.NumDropReasons) {
 		return nil, fmt.Errorf("telemetry: report carries %d drop reasons, want %d", reasons, tracing.NumDropReasons)
 	}
 	if r.State >= nic.NumDegradedStates || r.Mode >= nic.NumFailModes {

@@ -27,6 +27,9 @@ func sampleReport() *Report {
 		RxAllowed:    100000,
 		FlowHits:     90000,
 		FlowMisses:   10000,
+		CTEntries:    1000,
+		CTCapacity:   1024,
+		CTEvictions:  555,
 	}
 	for i := range r.RxDrops {
 		r.RxDrops[i] = uint64(1000 + i)
@@ -167,7 +170,7 @@ func TestDecodeReportRejects(t *testing.T) {
 	mismatched := sampleReport()
 	raw := AppendReport(nil, mismatched)
 	body := append([]byte(nil), raw[headerLen:len(raw)-checksumLen]...)
-	reasonOff := 1 + len(mismatched.Device) + 4 + 8 + 4 + 3 + 8 + 4 + 8*4
+	reasonOff := 1 + len(mismatched.Device) + 4 + 8 + 4 + 3 + 8 + 4 + 8*4 + 4 + 4 + 8
 	body[reasonOff] = byte(tracing.NumDropReasons) + 1
 	reframed := AppendReport(nil, mismatched)[:headerLen]
 	reframed = append(reframed[:headerLen], body...)

@@ -23,7 +23,9 @@
 # overhead is measured separately as BenchmarkRxPath/profiled — and
 # BenchmarkRxPathTelemetry holds the ingress path at 0 allocs/op with
 # a telemetry agent attached, as does the agent's own
-# BenchmarkTelemetrySnapshotEncode build path).
+# BenchmarkTelemetrySnapshotEncode build path, and
+# BenchmarkRxPathStateful plus BenchmarkConntrack's lookup variants
+# hold the conntrack-enabled ingress there too).
 # Benchmarks present on only one side are reported but never fail the
 # gate, so adding or renaming a benchmark doesn't break CI.
 #
@@ -50,7 +52,7 @@ out="${1:-BENCH_baseline.json}"
 if [ -n "$baseline" ] && [ "$#" -eq 0 ]; then
   out="$(mktemp --suffix .json)"
 fi
-pkgs="./internal/nic ./internal/fw ./internal/fw/sem ./internal/sim ./internal/packet ./internal/measure ./internal/telemetry"
+pkgs="./internal/nic ./internal/nic/conntrack ./internal/fw ./internal/fw/sem ./internal/sim ./internal/packet ./internal/measure ./internal/telemetry"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
